@@ -1,0 +1,37 @@
+"""Asymptotic-efficiency claim (Sec. 5.2): cost of the synthesized programs.
+
+For each fast benchmark with an input generator, this harness synthesizes the
+program once with ReSyn and then benchmarks *running* it under the cost
+semantics on a fixed input size, recording the abstract cost and the fitted
+bound shape in ``extra_info``.  Together with ``bench_table2.py`` this
+regenerates the B / B-NR columns of Table 2 in a machine-checkable form.
+"""
+
+import pytest
+
+from repro.analysis.empirical import fit_bound, measure_cost
+from repro.benchsuite.runner import selected_benchmarks
+from repro.core import synthesize
+from repro.semantics.interpreter import Interpreter
+
+
+BENCHMARKS = [b for b in selected_benchmarks("table2") if b.input_maker is not None]
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=[b.key for b in BENCHMARKS])
+def test_synthesized_program_cost(benchmark, bench):
+    result = synthesize(bench.goal, bench.configs()["resyn"])
+    assert result.succeeded
+    env = {c.name: c.builtin() for c in bench.goal.components}
+    interpreter = Interpreter()
+    closure = interpreter.run(result.program, env).value
+    args = bench.input_maker(12)
+
+    def run():
+        return interpreter.call(closure, *args)
+
+    evaluation = benchmark(run)
+    samples = measure_cost(result.program, env, [bench.input_maker(n) for n in (2, 4, 8, 16)])
+    benchmark.extra_info["abstract_cost_at_12"] = evaluation.cost
+    benchmark.extra_info["fitted_bound"] = fit_bound(samples)
+    benchmark.extra_info["paper_bound"] = bench.paper_bound

@@ -1,0 +1,38 @@
+"""Table 1: ReSyn vs. Synquid synthesis times on linear-bounded benchmarks.
+
+Each pytest-benchmark case runs one benchmark under one tool configuration, so
+the benchmark report directly contains the `Time` (ReSyn) and `TimeNR`
+(Synquid) columns of Table 1.  The default run covers the fast subset; set
+``REPRO_FULL=1`` to run every implemented Table 1 benchmark (several minutes
+per slow entry).
+"""
+
+import pytest
+
+from repro.benchsuite.definitions import table1_benchmarks
+from repro.benchsuite.runner import selected_benchmarks
+from repro.core import synthesize
+
+
+BENCHMARKS = selected_benchmarks("table1")
+
+
+def _synthesize(bench, mode):
+    result = synthesize(bench.goal, bench.configs()[mode])
+    assert result.succeeded, f"{bench.key} failed to synthesize under {mode}"
+    return result
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=[b.key for b in BENCHMARKS])
+def test_table1_resyn_time(benchmark, bench):
+    """Column `Time`: resource-guided synthesis."""
+    result = benchmark.pedantic(_synthesize, args=(bench, "resyn"), rounds=1, iterations=1)
+    benchmark.extra_info["code_size"] = result.code_size
+    benchmark.extra_info["program"] = str(result.program)
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=[b.key for b in BENCHMARKS])
+def test_table1_synquid_time(benchmark, bench):
+    """Column `TimeNR`: the resource-agnostic baseline."""
+    result = benchmark.pedantic(_synthesize, args=(bench, "synquid"), rounds=1, iterations=1)
+    benchmark.extra_info["code_size"] = result.code_size

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment for this reproduction has no `wheel` package available, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path; all
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Reproduction of *Resource-Guided Program Synthesis* (PLDI 2019).
+
+The package implements the Re2 type system (polymorphic refinement types with
+AARA potential annotations), the ReSyn resource-guided synthesizer, the
+resource-agnostic Synquid baseline, the naive enumerate-and-check combination,
+and every substrate they need (refinement logic, SMT solving, cost semantics,
+constraint solvers) — see DESIGN.md for the full inventory.
+
+Quickstart::
+
+    from repro.core import SynthesisConfig, synthesize
+    from repro.benchsuite import benchmark_by_key
+
+    bench = benchmark_by_key("triple")
+    result = synthesize(bench.goal, SynthesisConfig.resyn(max_arg_depth=2))
+    print(result.program)
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Resource analysis of complete programs: AARA bound inference and empirical fitting."""
+
+from repro.analysis.aara import LinearBound, infer_linear_bound
+from repro.analysis.empirical import (
+    BOUND_SHAPES,
+    CostSample,
+    fit_bound,
+    is_constant_resource,
+    measure_cost,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

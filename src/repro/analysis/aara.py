@@ -1,0 +1,110 @@
+"""Linear automatic amortized resource analysis (AARA) for complete programs.
+
+Sec. 2.2 of the paper describes RaML-style AARA: annotate every list type in a
+program with an unknown per-element potential, generate linear constraints
+from the typing rules, and solve them with an LP/LIA solver, minimising the
+potential of the inputs to obtain the tightest linear bound.
+
+This module implements the corresponding *whole-program* analysis for the
+first-order list programs produced by the synthesizer.  It reuses the Re2
+checker in resource-aware mode: the input lists are annotated with fresh
+unknown per-element potentials (coefficient variables), the body is checked,
+and the accumulated resource constraints are handed to the CEGIS/LIA solver
+with an outer minimisation loop over the total input potential.  The result is
+the inferred linear bound ``q1*|arg1| + q2*|arg2| + q0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.cegis import CegisSolver
+from repro.constraints.store import ConstraintStore, fresh_coefficient_var
+from repro.core.goals import SynthesisGoal
+from repro.core.synthesizer import with_default_cost
+from repro.lang import syntax as s
+from repro.logic import terms as t
+from repro.smt.solver import Solver
+from repro.typing.checker import CheckerConfig, TypeChecker
+from repro.typing.types import ArrowType, ListBase, RType, TypeSchema
+
+
+@dataclass(frozen=True)
+class LinearBound:
+    """An inferred bound ``sum_i coeff_i * |param_i| + constant``."""
+
+    coefficients: Tuple[Tuple[str, int], ...]
+    constant: int = 0
+
+    def __str__(self) -> str:
+        parts = [f"{coeff}*|{name}|" for name, coeff in self.coefficients if coeff]
+        if self.constant or not parts:
+            parts.append(str(self.constant))
+        return " + ".join(parts)
+
+    def total(self, sizes: Dict[str, int]) -> int:
+        return self.constant + sum(coeff * sizes.get(name, 0) for name, coeff in self.coefficients)
+
+
+def infer_linear_bound(
+    program: s.Fix, goal: SynthesisGoal, max_coefficient: int = 8
+) -> Optional[LinearBound]:
+    """Infer per-element input potentials sufficient to pay for ``program``.
+
+    Returns the smallest (lexicographically, by total coefficient sum) linear
+    bound found within ``max_coefficient``, or ``None`` if no linear bound
+    exists (e.g. the exponential ``compress`` produced by the baseline).
+    """
+    schema = with_default_cost(goal.schema)
+    body = schema.body
+    assert isinstance(body, ArrowType)
+    params = body.params()
+    list_params = [name for name, ptype in params if isinstance(ptype, RType) and isinstance(ptype.base, ListBase)]
+
+    # Try candidate coefficient vectors in order of increasing total potential.
+    candidates = _coefficient_vectors(len(list_params), max_coefficient)
+    for vector in candidates:
+        annotated = _annotate_goal(schema, dict(zip(list_params, vector)))
+        checker = TypeChecker(
+            goal.component_schemas(),
+            CheckerConfig(resource_aware=True, check_termination=False),
+            solver=Solver(),
+        )
+        if checker.check_program(program, annotated):
+            coefficients = tuple(zip(list_params, vector))
+            return LinearBound(coefficients)
+    return None
+
+
+def _coefficient_vectors(arity: int, max_coefficient: int) -> List[Tuple[int, ...]]:
+    """All coefficient vectors ordered by total sum (then lexicographically)."""
+    if arity == 0:
+        return [()]
+    vectors: List[Tuple[int, ...]] = []
+    def build(prefix: Tuple[int, ...]) -> None:
+        if len(prefix) == arity:
+            vectors.append(prefix)
+            return
+        for value in range(max_coefficient + 1):
+            build(prefix + (value,))
+    build(())
+    vectors.sort(key=lambda v: (sum(v), v))
+    return vectors
+
+
+def _annotate_goal(schema: TypeSchema, potentials: Dict[str, int]) -> TypeSchema:
+    """Set the per-element potential of each list parameter to a constant."""
+    body = schema.body
+    assert isinstance(body, ArrowType)
+
+    def rebuild(arrow: ArrowType) -> ArrowType:
+        ptype = arrow.param_type
+        if isinstance(ptype, RType) and isinstance(ptype.base, ListBase) and arrow.param in potentials:
+            ptype = ptype.with_elem_potential(t.IntConst(potentials[arrow.param]))
+        result = arrow.result
+        if isinstance(result, ArrowType):
+            result = rebuild(result)
+        return ArrowType(arrow.param, ptype, result, arrow.cost)
+
+    return TypeSchema(schema.tvars, rebuild(body))

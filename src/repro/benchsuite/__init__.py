@@ -1,0 +1,12 @@
+"""Benchmark definitions and runners for the paper's evaluation (Sec. 5)."""
+
+from repro.benchsuite.definitions import (
+    Benchmark,
+    benchmark_by_key,
+    fast_benchmarks,
+    table1_benchmarks,
+    table2_benchmarks,
+)
+from repro.benchsuite.runner import BenchmarkRow, format_rows, measured_bound, run_benchmark, run_table
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,507 @@
+"""Benchmark definitions shared by Table 1 and Table 2.
+
+Every benchmark packages a :class:`repro.core.goals.SynthesisGoal` (goal type
+plus component library, mirroring the "Components" column of the paper's
+tables), per-benchmark search bounds, the bound reported in the paper for
+ReSyn's output and for the baseline's output, and input generators used to
+measure the empirical cost of synthesized programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.components import library
+from repro.core.config import SynthesisConfig
+from repro.core.goals import SynthesisGoal
+from repro.logic import terms as t
+from repro.typing.types import (
+    NU_NAME,
+    TypeSchema,
+    arrow,
+    bool_type,
+    int_type,
+    list_type,
+    nat_type,
+    slist_type,
+    tvar_type,
+)
+
+
+NU_DATA = t.Var(NU_NAME, t.DATA)
+NU_INT = t.Var(NU_NAME, t.INT)
+NU_BOOL = t.Var(NU_NAME, t.BOOL)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One row of Table 1 or Table 2."""
+
+    key: str
+    description: str
+    goal: SynthesisGoal
+    group: str = "List"
+    #: Paper-reported bound of ReSyn's program (column B of Table 2).
+    paper_bound: str = ""
+    #: Paper-reported bound of the baseline's program (column B-NR).
+    paper_bound_baseline: str = ""
+    #: Search-bound overrides applied to every configuration.
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Generator of input tuples for empirical cost measurement.
+    input_maker: Optional[Callable[[int], Tuple]] = None
+    #: Index of the public argument for constant-resource benchmarks.
+    public_argument: int = 0
+    #: Benchmarks whose search is too slow for the default CI run.
+    slow: bool = False
+
+    def configs(self) -> Dict[str, SynthesisConfig]:
+        """The four tool configurations compared in the paper."""
+        return {
+            "resyn": SynthesisConfig.resyn(**self.config_overrides),
+            "synquid": SynthesisConfig.synquid(**self.config_overrides),
+            "eac": SynthesisConfig.enumerate_and_check_config(**self.config_overrides),
+            "noninc": SynthesisConfig.resyn_nonincremental(**self.config_overrides),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Helpers for building goal types
+# ---------------------------------------------------------------------------
+
+
+def elem(potential: int = 0, name: str = "a") -> "tvar_type":
+    if potential:
+        return tvar_type(name, potential=t.IntConst(potential))
+    return tvar_type(name)
+
+
+def _sorted_inputs(size: int, seed: int = 0) -> Tuple[tuple, tuple]:
+    rng = random.Random(seed + size)
+    first = tuple(sorted(rng.sample(range(size * 3 + 3), size)))
+    second = tuple(sorted(rng.sample(range(size * 3 + 3), size)))
+    return first, second
+
+
+def _random_list(size: int, seed: int = 0) -> tuple:
+    rng = random.Random(seed + size)
+    return tuple(rng.randrange(0, max(2 * size, 2)) for _ in range(size))
+
+
+# ---------------------------------------------------------------------------
+# Table 2 case studies (Sec. 5.2)
+# ---------------------------------------------------------------------------
+
+
+def triple_benchmark(slow_variant: bool = False) -> Benchmark:
+    """Benchmarks 1-2: append three copies of a list (Fig. 3)."""
+    per_element = 2
+    component = "append2" if slow_variant else "append"
+    l = t.data_var("l")
+    goal_ref = t.len_(NU_DATA).eq(t.len_(l) + t.len_(l) + t.len_(l))
+    goal = SynthesisGoal.create(
+        "triple",
+        TypeSchema(
+            ("a",),
+            arrow(("l", list_type(elem(per_element))), list_type(elem(), goal_ref)),
+        ),
+        library(component),
+    )
+    return Benchmark(
+        key="triple2" if slow_variant else "triple",
+        description="triple'" if slow_variant else "triple",
+        goal=goal,
+        group="Table2/optimization",
+        paper_bound="|xs|",
+        paper_bound_baseline="|xs|^2" if slow_variant else "|xs|",
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+        input_maker=lambda n: (_random_list(n),),
+    )
+
+
+def common_benchmark() -> Benchmark:
+    """Benchmark 5: common elements of two sorted lists (Sec. 2)."""
+    goal_ref = t.Eq(
+        t.elems(NU_DATA), t.SetIntersect(t.elems(t.data_var("ys")), t.elems(t.data_var("zs")))
+    )
+    goal = SynthesisGoal.create(
+        "common",
+        TypeSchema(
+            ("a",),
+            arrow(
+                ("ys", slist_type(elem(1))),
+                ("zs", slist_type(elem(1))),
+                list_type(elem(), goal_ref),
+            ),
+        ),
+        library("lt", "member"),
+    )
+    return Benchmark(
+        key="common",
+        description="common",
+        goal=goal,
+        group="Table2/optimization",
+        paper_bound="|ys| + |zs|",
+        paper_bound_baseline="|ys| * |zs|",
+        input_maker=lambda n: _sorted_inputs(n),
+        slow=True,
+    )
+
+
+def diff_benchmark() -> Benchmark:
+    """Benchmark 6: list difference of two sorted lists."""
+    goal_ref = t.Eq(
+        t.elems(NU_DATA), t.SetDiff(t.elems(t.data_var("ys")), t.elems(t.data_var("zs")))
+    )
+    goal = SynthesisGoal.create(
+        "difference",
+        TypeSchema(
+            ("a",),
+            arrow(
+                ("ys", slist_type(elem(1))),
+                ("zs", slist_type(elem(1))),
+                list_type(elem(), goal_ref),
+            ),
+        ),
+        library("lt", "member"),
+    )
+    return Benchmark(
+        key="diff",
+        description="list difference",
+        goal=goal,
+        group="Table2/optimization",
+        paper_bound="|ys| + |zs|",
+        paper_bound_baseline="|ys| * |zs|",
+        input_maker=lambda n: _sorted_inputs(n),
+        slow=True,
+    )
+
+
+def compress_benchmark() -> Benchmark:
+    """Benchmark 4: remove adjacent duplicates."""
+    goal_ref = t.Eq(t.elems(NU_DATA), t.elems(t.data_var("xs")))
+    goal = SynthesisGoal.create(
+        "compress",
+        TypeSchema(
+            ("a",),
+            arrow(("xs", list_type(elem(1))), list_type(elem(), goal_ref)),
+        ),
+        library("eq", "neq"),
+    )
+    return Benchmark(
+        key="compress",
+        description="compress",
+        goal=goal,
+        group="Table2/optimization",
+        paper_bound="|xs|",
+        paper_bound_baseline="2^|xs|",
+        input_maker=lambda n: (_random_list(n),),
+        slow=True,
+    )
+
+
+def insert_benchmark(key: str = "insert", fine_grained: bool = False) -> Benchmark:
+    """Benchmarks 7-9: insertion into a sorted list.
+
+    ``fine_grained=True`` uses the dependent potential ``ite(x > nu, 1, 0)``
+    on the elements of ``xs`` (benchmark 9), so only elements smaller than the
+    inserted value carry potential.
+    """
+    x = t.int_var("x")
+    goal_ref = t.Eq(t.elems(NU_DATA), t.SetUnion(t.SetSingleton(x), t.elems(t.data_var("xs"))))
+    if fine_grained:
+        elem_potential = t.Ite(x > NU_INT, t.ONE, t.ZERO)
+        xs_type = slist_type(tvar_type("a", potential=elem_potential))
+    else:
+        xs_type = slist_type(elem(1))
+    goal = SynthesisGoal.create(
+        key,
+        TypeSchema(("a",), arrow(("x", elem()), ("xs", xs_type), slist_type(elem(), goal_ref))),
+        library("lt"),
+    )
+    return Benchmark(
+        key=key,
+        description="insert (fine-grained)" if fine_grained else "insert",
+        goal=goal,
+        group="Table2/dependent",
+        paper_bound="numlt(x, xs)" if fine_grained else "|xs|",
+        paper_bound_baseline="|xs|",
+        input_maker=lambda n: (n // 2, tuple(sorted(_random_list(n)))),
+        slow=True,
+    )
+
+
+def replicate_benchmark() -> Benchmark:
+    """Benchmark 10: replicate (dependent potential ``n`` on the count)."""
+    n = t.int_var("n")
+    goal_ref = t.len_(NU_DATA).eq(n)
+    goal = SynthesisGoal.create(
+        "replicate",
+        TypeSchema(
+            ("a",),
+            arrow(("n", nat_type(potential=NU_INT)), ("x", elem()), list_type(elem(), goal_ref)),
+        ),
+        library("dec", "leq"),
+    )
+    return Benchmark(
+        key="replicate",
+        description="replicate",
+        goal=goal,
+        group="Table2/dependent",
+        paper_bound="n",
+        paper_bound_baseline="n",
+        config_overrides={"max_arg_depth": 3, "max_match_depth": 0, "max_cond_depth": 1},
+        input_maker=lambda n: (n, 7),
+        slow=True,
+    )
+
+
+def range_benchmark() -> Benchmark:
+    """Benchmark 13: range lo hi (not synthesizable by the baseline)."""
+    lo = t.int_var("lo")
+    hi = t.int_var("hi")
+    goal_ref = t.len_(NU_DATA).eq(hi - lo)
+    hi_type = int_type(NU_INT >= lo, potential=t.Sub(NU_INT, lo))
+    goal = SynthesisGoal.create(
+        "range",
+        TypeSchema(
+            (),
+            arrow(("lo", int_type()), ("hi", hi_type), slist_type(int_type(), goal_ref)),
+        ),
+        library("inc", "leq"),
+    )
+    return Benchmark(
+        key="range",
+        description="range",
+        goal=goal,
+        group="Table2/dependent",
+        paper_bound="hi - lo",
+        paper_bound_baseline="(not synthesizable)",
+        config_overrides={"max_arg_depth": 3, "max_match_depth": 0, "max_cond_depth": 1},
+        input_maker=lambda n: (0, n),
+        slow=True,
+    )
+
+
+def compare_benchmark(constant_time: bool = False) -> Benchmark:
+    """Benchmarks 15-16: length comparison of a public and a secret list."""
+    ys = t.data_var("ys")
+    zs = t.data_var("zs")
+    goal_ref = t.Iff(NU_BOOL, t.len_(ys).eq(t.len_(zs)))
+    goal = SynthesisGoal.create(
+        "compare",
+        TypeSchema(
+            ("a",),
+            arrow(
+                ("ys", list_type(elem(1))),
+                ("zs", list_type(elem())),
+                bool_type(goal_ref),
+            ),
+        ),
+        library(),
+    )
+    return Benchmark(
+        key="ct_compare" if constant_time else "compare",
+        description="CT compare" if constant_time else "compare",
+        goal=goal,
+        group="Table2/constant-resource",
+        paper_bound="|ys|",
+        paper_bound_baseline="|ys|",
+        input_maker=lambda n: (_random_list(n), _random_list(max(n - 1, 0), seed=7)),
+        public_argument=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 benchmarks (a representative subset of the 43 linear ones)
+# ---------------------------------------------------------------------------
+
+
+def is_empty_benchmark() -> Benchmark:
+    xs = t.data_var("xs")
+    goal = SynthesisGoal.create(
+        "isEmpty",
+        TypeSchema(("a",), arrow(("xs", list_type(elem(1))), bool_type(t.Iff(NU_BOOL, t.len_(xs).eq(0))))),
+        library(),
+    )
+    return Benchmark(
+        key="t1_is_empty",
+        description="is empty",
+        goal=goal,
+        group="Table1/List",
+        paper_bound="1",
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 1, "max_cond_depth": 0},
+        input_maker=lambda n: (_random_list(n),),
+    )
+
+
+def member_benchmark() -> Benchmark:
+    x = t.int_var("x")
+    xs = t.data_var("xs")
+    goal = SynthesisGoal.create(
+        "memberOf",
+        TypeSchema(
+            ("a",),
+            arrow(
+                ("x", elem()),
+                ("xs", list_type(elem(1))),
+                bool_type(t.Iff(NU_BOOL, t.SetMember(x, t.elems(xs)))),
+            ),
+        ),
+        library("eq", "neq"),
+    )
+    return Benchmark(
+        key="t1_member",
+        description="member",
+        goal=goal,
+        group="Table1/List",
+        paper_bound="|xs|",
+        input_maker=lambda n: (n // 2, _random_list(n)),
+        slow=True,
+    )
+
+
+def append_benchmark() -> Benchmark:
+    xs = t.data_var("xs")
+    ys = t.data_var("ys")
+    goal_ref = t.conj(
+        t.len_(NU_DATA).eq(t.len_(xs) + t.len_(ys)),
+        t.Eq(t.elems(NU_DATA), t.SetUnion(t.elems(xs), t.elems(ys))),
+    )
+    goal = SynthesisGoal.create(
+        "appendLists",
+        TypeSchema(
+            ("a",),
+            arrow(("xs", list_type(elem(1))), ("ys", list_type(elem())), list_type(elem(), goal_ref)),
+        ),
+        library(),
+    )
+    return Benchmark(
+        key="t1_append",
+        description="append two lists",
+        goal=goal,
+        group="Table1/List",
+        paper_bound="|xs|",
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 1, "max_cond_depth": 0},
+        input_maker=lambda n: (_random_list(n), _random_list(n, seed=3)),
+    )
+
+
+def duplicate_each_benchmark() -> Benchmark:
+    xs = t.data_var("xs")
+    goal_ref = t.len_(NU_DATA).eq(t.len_(xs) + t.len_(xs))
+    goal = SynthesisGoal.create(
+        "duplicateEach",
+        TypeSchema(("a",), arrow(("xs", list_type(elem(1))), list_type(elem(), goal_ref))),
+        library(),
+    )
+    return Benchmark(
+        key="t1_duplicate",
+        description="duplicate each element",
+        goal=goal,
+        group="Table1/List",
+        paper_bound="|xs|",
+        config_overrides={"max_arg_depth": 3, "max_match_depth": 1, "max_cond_depth": 0},
+        input_maker=lambda n: (_random_list(n),),
+    )
+
+
+def length_benchmark() -> Benchmark:
+    xs = t.data_var("xs")
+    goal = SynthesisGoal.create(
+        "lengthOf",
+        TypeSchema(("a",), arrow(("xs", list_type(elem(1))), int_type(NU_INT.eq(t.len_(xs))))),
+        library("inc"),
+    )
+    return Benchmark(
+        key="t1_length",
+        description="length",
+        goal=goal,
+        group="Table1/List",
+        paper_bound="|xs|",
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 1, "max_cond_depth": 0},
+        input_maker=lambda n: (_random_list(n),),
+    )
+
+
+def take_benchmark(drop: bool = False) -> Benchmark:
+    """Benchmarks 11-12 of Table 2 / take-drop of Table 1."""
+    n = t.int_var("n")
+    xs = t.data_var("xs")
+    if drop:
+        goal_ref = t.len_(NU_DATA).eq(t.len_(xs) - n)
+    else:
+        goal_ref = t.len_(NU_DATA).eq(n)
+    goal = SynthesisGoal.create(
+        "dropN" if drop else "takeN",
+        TypeSchema(
+            ("a",),
+            arrow(
+                ("n", nat_type(potential=NU_INT)),
+                ("xs", list_type(elem(), refinement=t.len_(NU_DATA) >= n)),
+                list_type(elem(), goal_ref),
+            ),
+        ),
+        library("dec", "leq"),
+    )
+    return Benchmark(
+        key="drop" if drop else "take",
+        description="drop first n" if drop else "take first n",
+        goal=goal,
+        group="Table2/dependent",
+        paper_bound="n",
+        paper_bound_baseline="n",
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 1, "max_cond_depth": 1},
+        input_maker=lambda k: (k // 2, _random_list(k)),
+        slow=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+
+def table1_benchmarks() -> List[Benchmark]:
+    """The Table 1 subset reproduced by this repository."""
+    return [
+        is_empty_benchmark(),
+        member_benchmark(),
+        append_benchmark(),
+        duplicate_each_benchmark(),
+        length_benchmark(),
+        insert_benchmark(key="t1_insert_sorted"),
+        compress_benchmark(),
+    ]
+
+
+def table2_benchmarks() -> List[Benchmark]:
+    """The 16 case studies of Table 2 (those expressible in this reproduction)."""
+    return [
+        triple_benchmark(False),
+        triple_benchmark(True),
+        compress_benchmark(),
+        common_benchmark(),
+        diff_benchmark(),
+        insert_benchmark(),
+        insert_benchmark(key="insert_fine", fine_grained=True),
+        replicate_benchmark(),
+        take_benchmark(False),
+        take_benchmark(True),
+        range_benchmark(),
+        compare_benchmark(constant_time=True),
+        compare_benchmark(constant_time=False),
+    ]
+
+
+def fast_benchmarks() -> List[Benchmark]:
+    """Benchmarks cheap enough for the default pytest-benchmark run."""
+    return [b for b in table1_benchmarks() + table2_benchmarks() if not b.slow]
+
+
+def benchmark_by_key(key: str) -> Benchmark:
+    for bench in table1_benchmarks() + table2_benchmarks():
+        if bench.key == key:
+            return bench
+    raise KeyError(key)

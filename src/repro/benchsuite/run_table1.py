@@ -1,0 +1,6 @@
+"""Regenerate Table 1 (ReSyn vs. Synquid on linear-bounded benchmarks)."""
+
+from repro.benchsuite.runner import main_table1
+
+if __name__ == "__main__":
+    main_table1()

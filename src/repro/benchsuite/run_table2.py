@@ -1,0 +1,6 @@
+"""Regenerate Table 2 (case studies: T, T-NR, T-EAC, T-NInc, B, B-NR)."""
+
+from repro.benchsuite.runner import main_table2
+
+if __name__ == "__main__":
+    main_table2()

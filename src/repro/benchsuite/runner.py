@@ -1,0 +1,113 @@
+"""Harness that regenerates the rows of Table 1 and Table 2.
+
+Usage::
+
+    python -m repro.benchsuite.run_table1          # fast subset
+    REPRO_FULL=1 python -m repro.benchsuite.run_table1   # all benchmarks
+    python -m repro.benchsuite.run_table2
+
+Each row reports the synthesized code size, per-configuration synthesis times
+(T, T-NR, T-EAC, T-NInc), and the measured asymptotic bound of the ReSyn and
+baseline programs (columns B / B-NR of Table 2), obtained by running the
+synthesized code under the cost semantics on growing inputs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.empirical import fit_bound, is_constant_resource, measure_cost
+from repro.benchsuite.definitions import Benchmark, fast_benchmarks, table1_benchmarks, table2_benchmarks
+from repro.core import SynthesisConfig, synthesize
+from repro.core.goals import SynthesisResult
+from repro.lang import syntax as s
+from repro.semantics.values import Value
+
+
+@dataclass
+class BenchmarkRow:
+    """One table row: per-configuration results for a benchmark."""
+
+    benchmark: Benchmark
+    results: Dict[str, SynthesisResult] = field(default_factory=dict)
+    measured_bounds: Dict[str, str] = field(default_factory=dict)
+
+    def time(self, mode: str) -> Optional[float]:
+        result = self.results.get(mode)
+        return result.seconds if result else None
+
+    def code_size(self, mode: str = "resyn") -> int:
+        result = self.results.get(mode)
+        return result.code_size if result else 0
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    modes: Sequence[str] = ("resyn", "synquid"),
+    sizes: Sequence[int] = (2, 4, 8, 12),
+) -> BenchmarkRow:
+    """Run a benchmark under the selected tool configurations."""
+    row = BenchmarkRow(benchmark)
+    configs = benchmark.configs()
+    for mode in modes:
+        config = configs[mode]
+        if benchmark.group.endswith("constant-resource") and mode == "resyn" and benchmark.key.startswith("ct_"):
+            config = SynthesisConfig.constant_resource(**benchmark.config_overrides)
+        result = synthesize(benchmark.goal, config)
+        row.results[mode] = result
+        if result.program is not None and benchmark.input_maker is not None:
+            row.measured_bounds[mode] = measured_bound(benchmark, result.program, sizes)
+    return row
+
+
+def measured_bound(benchmark: Benchmark, program: s.Fix, sizes: Sequence[int]) -> str:
+    """Fit the empirical cost of a synthesized program to a bound shape."""
+    assert benchmark.input_maker is not None
+    env: Dict[str, Value] = {c.name: c.builtin() for c in benchmark.goal.components}
+    inputs = [benchmark.input_maker(size) for size in sizes]
+    samples = measure_cost(program, env, inputs)
+    return fit_bound(samples)
+
+
+def format_rows(rows: Sequence[BenchmarkRow], modes: Sequence[str]) -> str:
+    """Render rows as an aligned text table (the shape of Tables 1/2)."""
+    headers = ["benchmark", "code"] + [f"T({m})" for m in modes] + [f"B({m})" for m in modes]
+    lines = ["  ".join(f"{h:>14s}" for h in headers)]
+    for row in rows:
+        cells = [row.benchmark.key, str(row.code_size("resyn") or row.code_size(modes[0]))]
+        for mode in modes:
+            time = row.time(mode)
+            cells.append(f"{time:.2f}s" if time is not None else "-")
+        for mode in modes:
+            cells.append(row.measured_bounds.get(mode, "-"))
+        lines.append("  ".join(f"{c:>14s}" for c in cells))
+    return "\n".join(lines)
+
+
+def selected_benchmarks(table: str) -> List[Benchmark]:
+    """The benchmark list for a table, honouring the ``REPRO_FULL`` switch."""
+    full = os.environ.get("REPRO_FULL", "") not in ("", "0")
+    benchmarks = table1_benchmarks() if table == "table1" else table2_benchmarks()
+    if full:
+        return benchmarks
+    return [b for b in benchmarks if not b.slow]
+
+
+def run_table(table: str, modes: Sequence[str]) -> List[BenchmarkRow]:
+    rows = []
+    for benchmark in selected_benchmarks(table):
+        rows.append(run_benchmark(benchmark, modes))
+    return rows
+
+
+def main_table1() -> None:
+    rows = run_table("table1", ("resyn", "synquid"))
+    print(format_rows(rows, ("resyn", "synquid")))
+
+
+def main_table2() -> None:
+    modes = ("resyn", "synquid", "eac", "noninc")
+    rows = run_table("table2", modes)
+    print(format_rows(rows, modes))

@@ -1,0 +1,15 @@
+"""Constraint solving: resource constraints, incremental CEGIS, Horn clauses."""
+
+from repro.constraints.cegis import CegisSolver, CegisStats, Example
+from repro.constraints.horn import HornClause, HornSolverError, Unknown, UnknownApp, default_qualifiers, solve_horn
+from repro.constraints.store import (
+    COEFF_PREFIX,
+    ConstraintStore,
+    ResourceConstraint,
+    coefficients_in,
+    fresh_coefficient_var,
+    is_coefficient,
+    linear_template,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

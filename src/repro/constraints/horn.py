@@ -1,0 +1,170 @@
+"""A qualifier-based Horn-constraint solver (the Synquid-side machinery).
+
+Liquid type inference (Sec. 2.1) reduces subtyping between refinement types
+with *unknown* Boolean refinements to a system of constrained Horn clauses,
+which Synquid solves by predicate abstraction over a finite set of candidate
+qualifiers.  The core calculus of the paper (Sec. 3/4) does not need unknown
+Boolean predicates, but the full surface language does (e.g. to infer
+refinements of intermediate let-bindings), so this module provides the
+corresponding solver:
+
+* an :class:`Unknown` stands for an unknown refinement ``U`` over a given
+  scope;
+* a :class:`HornClause` is an implication ``body_1 /\\ ... /\\ body_n ==> head``
+  where bodies and head may be unknowns (applied to a variable renaming) or
+  concrete formulas;
+* :func:`solve_horn` computes the *least* fixpoint assignment mapping every
+  unknown to a conjunction of qualifiers, by starting from ``true`` for every
+  unknown and strengthening... (note: the classic liquid-types algorithm
+  computes the greatest fixpoint by weakening; we implement the least-fixpoint
+  strengthening loop described in Sec. 4.2, which the paper points out is the
+  right choice when Boolean unknowns feed resource constraints negatively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.logic import terms as t
+from repro.logic.terms import Term
+from repro.smt.solver import Solver
+
+
+@dataclass(frozen=True)
+class Unknown:
+    """An unknown refinement predicate over the given scope variables."""
+
+    name: str
+    scope: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class UnknownApp:
+    """An occurrence of an unknown under a renaming of its scope."""
+
+    unknown: Unknown
+    renaming: Tuple[Tuple[str, str], ...] = ()
+
+    def apply(self, assignment: Mapping[str, Term]) -> Term:
+        body = assignment.get(self.unknown.name, t.TRUE)
+        return t.rename(body, dict(self.renaming))
+
+
+Atom = object  # Term | UnknownApp
+
+
+@dataclass(frozen=True)
+class HornClause:
+    """``/\\ bodies ==> head`` where atoms are formulas or unknown occurrences."""
+
+    bodies: Tuple[Atom, ...]
+    head: Atom
+
+    def __str__(self) -> str:
+        bodies = " /\\ ".join(str(b) for b in self.bodies)
+        return f"{bodies} ==> {self.head}"
+
+
+class HornSolverError(Exception):
+    """Raised when the clause system has no solution over the qualifiers."""
+
+
+def solve_horn(
+    clauses: Sequence[HornClause],
+    qualifiers: Mapping[str, Sequence[Term]],
+    solver: Optional[Solver] = None,
+    max_iterations: int = 100,
+) -> Dict[str, Term]:
+    """Solve Horn clauses by predicate abstraction over candidate qualifiers.
+
+    ``qualifiers`` maps each unknown name to its candidate qualifier set (each
+    qualifier is a formula over the unknown's scope variables).  The solution
+    maps every unknown to the strongest conjunction of qualifiers that is
+    consistent with the clauses whose *head* is that unknown, iterating to a
+    fixpoint; clauses with concrete heads are then checked and a
+    :class:`HornSolverError` is raised if any fails.
+    """
+    solver = solver or Solver()
+    unknowns = _collect_unknowns(clauses)
+    # Least-fixpoint iteration: start from the strongest candidate (conjunction
+    # of all qualifiers) and drop qualifiers that are not implied by the
+    # clause bodies.
+    assignment: Dict[str, Term] = {
+        u.name: t.conj(*qualifiers.get(u.name, ())) for u in unknowns
+    }
+    for _ in range(max_iterations):
+        changed = False
+        for clause in clauses:
+            if not isinstance(clause.head, UnknownApp):
+                continue
+            head = clause.head
+            body = _body_formula(clause, assignment)
+            kept: List[Term] = []
+            current = qualifiers.get(head.unknown.name, ())
+            inverse = {b: a for a, b in head.renaming}
+            for qualifier in current:
+                if not _qualifier_kept(assignment, head.unknown.name, qualifier):
+                    continue
+                renamed = t.rename(qualifier, dict(head.renaming))
+                if solver.check_valid(t.implies(body, renamed)):
+                    kept.append(qualifier)
+            new_value = t.conj(*kept)
+            if new_value != assignment[head.unknown.name]:
+                assignment[head.unknown.name] = new_value
+                changed = True
+        if not changed:
+            break
+    # Validate clauses with concrete heads.
+    for clause in clauses:
+        if isinstance(clause.head, UnknownApp):
+            continue
+        body = _body_formula(clause, assignment)
+        if not solver.check_valid(t.implies(body, clause.head)):
+            raise HornSolverError(f"unsatisfiable Horn clause: {clause}")
+    return assignment
+
+
+def _collect_unknowns(clauses: Sequence[HornClause]) -> List[Unknown]:
+    seen: Dict[str, Unknown] = {}
+    for clause in clauses:
+        for atom in clause.bodies + (clause.head,):
+            if isinstance(atom, UnknownApp):
+                seen.setdefault(atom.unknown.name, atom.unknown)
+    return list(seen.values())
+
+
+def _body_formula(clause: HornClause, assignment: Mapping[str, Term]) -> Term:
+    parts: List[Term] = []
+    for atom in clause.bodies:
+        if isinstance(atom, UnknownApp):
+            parts.append(atom.apply(assignment))
+        else:
+            parts.append(atom)  # type: ignore[arg-type]
+    return t.conj(*parts)
+
+
+def _qualifier_kept(assignment: Mapping[str, Term], name: str, qualifier: Term) -> bool:
+    current = assignment.get(name, t.TRUE)
+    if isinstance(current, t.And):
+        return qualifier in current.args
+    return current == qualifier or (isinstance(current, t.BoolConst) and current.value is True and False)
+
+
+def default_qualifiers(scope: Sequence[Term]) -> List[Term]:
+    """A small default qualifier set over integer scope variables.
+
+    Mirrors Synquid's default qualifier generation: pairwise comparisons and
+    sign conditions over the scope variables.
+    """
+    result: List[Term] = []
+    scope = list(scope)
+    for var in scope:
+        result.append(var >= 0)
+        result.append(var.eq(0))
+    for i, a in enumerate(scope):
+        for b in scope[i + 1 :]:
+            result.append(a <= b)
+            result.append(a.eq(b))
+            result.append(b <= a)
+    return result

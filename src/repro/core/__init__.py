@@ -1,0 +1,16 @@
+"""ReSyn: resource-guided program synthesis (the paper's primary contribution)."""
+
+from repro.core.components import (
+    Component,
+    STANDARD_COMPONENTS,
+    append_component,
+    builtins_of,
+    library,
+    member_component,
+    schemas_of,
+)
+from repro.core.config import SynthesisConfig
+from repro.core.goals import SynthesisGoal, SynthesisResult
+from repro.core.synthesizer import Synthesizer, synthesize, verify, with_default_cost
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,88 @@
+"""Configuration of the synthesis engine.
+
+One engine implements all four tool configurations compared in the paper's
+evaluation; the configuration object selects between them:
+
+* ``resyn()``           — ReSyn: resource-aware round-trip synthesis (column T),
+* ``synquid()``         — the resource-agnostic baseline (column T-NR),
+* ``enumerate_and_check()`` — the naive combination: enumerate functionally
+  correct programs, then check resources post hoc (column T-EAC),
+* ``resyn_nonincremental()`` — ReSyn with the non-incremental CEGIS solver
+  (column T-NInc),
+* ``constant_resource()`` — the constant-resource variant (benchmarks 14-16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.typing.checker import CheckerConfig
+
+
+@dataclass
+class SynthesisConfig:
+    """Search bounds and mode switches for the synthesizer."""
+
+    checker: CheckerConfig = field(default_factory=CheckerConfig)
+    #: Maximum nesting depth of pattern matches.
+    max_match_depth: int = 2
+    #: Maximum nesting depth of conditionals.
+    max_cond_depth: int = 2
+    #: Maximum depth of E-term arguments (1 = variables/literals only).
+    max_arg_depth: int = 2
+    #: Maximum number of complete candidates inspected before giving up.
+    max_candidates: int = 200_000
+    #: Enumerate-and-check mode: functionally-correct candidates are generated
+    #: resource-agnostically and the full Re2 check runs only on complete
+    #: programs (the T-EAC baseline).
+    enumerate_and_check: bool = False
+    #: Wall-clock timeout in seconds (None = no timeout).
+    timeout: float | None = 600.0
+
+    # -- named configurations ------------------------------------------------
+    @staticmethod
+    def resyn(**overrides) -> "SynthesisConfig":
+        """ReSyn: resource-guided synthesis with incremental CEGIS."""
+        config = SynthesisConfig(
+            checker=CheckerConfig(resource_aware=True, check_termination=False, incremental_cegis=True)
+        )
+        return replace(config, **overrides)
+
+    @staticmethod
+    def synquid(**overrides) -> "SynthesisConfig":
+        """The resource-agnostic Synquid baseline (T-NR)."""
+        config = SynthesisConfig(
+            checker=CheckerConfig(resource_aware=False, check_termination=True)
+        )
+        return replace(config, **overrides)
+
+    @staticmethod
+    def enumerate_and_check_config(**overrides) -> "SynthesisConfig":
+        """Naive combination of synthesis and resource analysis (T-EAC)."""
+        config = SynthesisConfig(
+            checker=CheckerConfig(resource_aware=False, check_termination=True),
+            enumerate_and_check=True,
+        )
+        return replace(config, **overrides)
+
+    @staticmethod
+    def resyn_nonincremental(**overrides) -> "SynthesisConfig":
+        """ReSyn with the restart-from-scratch CEGIS solver (T-NInc)."""
+        config = SynthesisConfig(
+            checker=CheckerConfig(
+                resource_aware=True, check_termination=False, incremental_cegis=False
+            )
+        )
+        return replace(config, **overrides)
+
+    @staticmethod
+    def constant_resource(**overrides) -> "SynthesisConfig":
+        """The constant-resource variant of ReSyn (CT benchmarks 14-16)."""
+        config = SynthesisConfig(
+            checker=CheckerConfig(
+                resource_aware=True,
+                constant_resource=True,
+                check_termination=False,
+            )
+        )
+        return replace(config, **overrides)

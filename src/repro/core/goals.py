@@ -1,0 +1,70 @@
+"""Synthesis goals and results.
+
+A synthesis goal packages the name of the function being synthesized, its Re2
+goal type (refinements + resource bound), and the component library — exactly
+the inputs that ReSyn takes (Sec. 1, "The ReSyn Synthesizer").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.components import Component, builtins_of, schemas_of
+from repro.lang import syntax as s
+from repro.semantics.values import Builtin
+from repro.typing.types import ArrowType, TypeSchema
+
+
+@dataclass(frozen=True)
+class SynthesisGoal:
+    """A synthesis problem: ``name :: schema`` with a component library."""
+
+    name: str
+    schema: TypeSchema
+    components: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.schema.body, ArrowType):
+            raise ValueError("synthesis goals must be function types")
+
+    @staticmethod
+    def create(name: str, schema: TypeSchema, components: Sequence[Component]) -> "SynthesisGoal":
+        return SynthesisGoal(name, schema, tuple(components))
+
+    def component_schemas(self) -> Dict[str, TypeSchema]:
+        return schemas_of(self.components)
+
+    def component_builtins(self) -> Dict[str, Builtin]:
+        return builtins_of(self.components)
+
+    def param_names(self) -> tuple:
+        body = self.schema.body
+        assert isinstance(body, ArrowType)
+        return tuple(p for p, _ in body.params())
+
+
+@dataclass
+class SynthesisResult:
+    """The outcome of a synthesis run."""
+
+    goal: SynthesisGoal
+    program: Optional[s.Fix]
+    seconds: float
+    candidates_checked: int = 0
+    resource_rejections: int = 0
+    functional_rejections: int = 0
+    cegis_counterexamples: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.program is not None
+
+    @property
+    def code_size(self) -> int:
+        return self.program.size() if self.program is not None else 0
+
+    def __str__(self) -> str:
+        status = str(self.program) if self.program else "<no solution>"
+        return f"{self.goal.name} [{self.seconds:.2f}s, {self.candidates_checked} candidates]: {status}"

@@ -1,0 +1,369 @@
+"""The ReSyn synthesis engine (Sec. 4).
+
+The engine performs goal-directed backtracking search over the synthesis rules
+of Fig. 8: at every hole it tries, in order,
+
+1. *E-terms* — variables, constructors and applications of components or the
+   recursive function, enumerated in order of size (the Synquid search order,
+   so the resource-agnostic baseline returns the first, i.e. smallest,
+   functionally-correct program);
+2. *conditionals* — Boolean guards built from components over scalar variables
+   in scope, with branches synthesized under the corresponding path
+   conditions; and
+3. *pattern matches* on list/tree variables in scope.
+
+Every candidate piece is checked *as it is constructed* against the Re2 goal
+type: functional subtyping queries go straight to the SMT layer, resource
+demands become resource constraints handled by the incremental CEGIS solver,
+and any violation prunes the whole subtree of the search — this is the
+round-trip, resource-guided pruning that distinguishes ReSyn from the naive
+enumerate-and-check combination (Sec. 2.4, Table 2 column T-EAC).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.constraints.cegis import CegisSolver
+from repro.constraints.store import ConstraintStore
+from repro.core.components import Component
+from repro.core.config import SynthesisConfig
+from repro.core.goals import SynthesisGoal, SynthesisResult
+from repro.lang import syntax as s
+from repro.logic import terms as t
+from repro.smt.solver import Solver
+from repro.typing.checker import CheckerConfig, TypeChecker
+from repro.typing.context import Context
+from repro.typing.types import (
+    ArrowType,
+    BaseType,
+    BoolBase,
+    IntBase,
+    ListBase,
+    RType,
+    TreeBase,
+    TypeSchema,
+    TypeVarBase,
+    base_compatible,
+)
+
+
+class SynthesisTimeout(Exception):
+    """Raised internally when the configured timeout is exceeded."""
+
+
+def with_default_cost(schema: TypeSchema, cost: int = 1) -> TypeSchema:
+    """Ensure the goal arrow charges ``cost`` per (recursive) application.
+
+    The default cost metric of the paper counts recursive calls: every
+    application of the function being synthesized is wrapped in ``tick(1)``
+    (Sec. 4.1).  Goals that already carry a cost annotation are left alone.
+    """
+    body = schema.body
+    assert isinstance(body, ArrowType)
+    if body.total_cost() > 0:
+        return schema
+    params = body.params()
+    result = body.final_result()
+    rebuilt: ArrowType | RType = result
+    first = True
+    for name, ptype in reversed(params):
+        rebuilt = ArrowType(name, ptype, rebuilt, cost=cost if first else 0)
+        first = False
+    assert isinstance(rebuilt, ArrowType)
+    return TypeSchema(schema.tvars, rebuilt)
+
+
+class Synthesizer:
+    """Resource-guided program synthesis for a single goal."""
+
+    def __init__(self, goal: SynthesisGoal, config: Optional[SynthesisConfig] = None) -> None:
+        self.goal = goal
+        self.config = config or SynthesisConfig.resyn()
+        self.schema = with_default_cost(goal.schema)
+        self.solver = Solver()
+        self.store = ConstraintStore()
+        self.cegis = CegisSolver(self.solver, incremental=self.config.checker.incremental_cegis)
+        self.checker = TypeChecker(
+            goal.component_schemas(),
+            self.config.checker,
+            solver=self.solver,
+            store=self.store,
+            cegis=self.cegis,
+        )
+        self.candidates_checked = 0
+        self._deadline: Optional[float] = None
+        self._fresh = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def synthesize(self) -> SynthesisResult:
+        """Run synthesis and return the first program that checks."""
+        start = time.perf_counter()
+        if self.config.timeout is not None:
+            self._deadline = start + self.config.timeout
+        program: Optional[s.Fix] = None
+        try:
+            if self.config.enumerate_and_check:
+                program = self._enumerate_and_check()
+            else:
+                program = next(self._programs(), None)
+        except SynthesisTimeout:
+            program = None
+        seconds = time.perf_counter() - start
+        return SynthesisResult(
+            goal=self.goal,
+            program=program,
+            seconds=seconds,
+            candidates_checked=self.candidates_checked,
+            resource_rejections=self.checker.stats.resource_rejections,
+            functional_rejections=self.checker.stats.functional_rejections,
+            cegis_counterexamples=self.cegis.stats.counterexamples,
+        )
+
+    def _programs(self) -> Iterator[s.Fix]:
+        """Generator of complete programs satisfying the goal (lazily)."""
+        ctx, result_type = self.checker.initial_context(self.goal.name, self.schema)
+        params = self.goal.param_names()
+        for body in self._solutions(ctx, result_type, self.config.max_match_depth, self.config.max_cond_depth):
+            yield s.Fix(self.goal.name, params, body)
+
+    def _enumerate_and_check(self) -> Optional[s.Fix]:
+        """The naive combination (T-EAC): functional synthesis, then analysis."""
+        verifier_config = CheckerConfig(
+            resource_aware=True,
+            constant_resource=self.config.checker.constant_resource,
+            check_termination=False,
+            incremental_cegis=True,
+        )
+        for program in self._programs():
+            verifier = TypeChecker(self.goal.component_schemas(), verifier_config, solver=self.solver)
+            if verifier.check_program(program, self.schema):
+                return program
+        return None
+
+    # ------------------------------------------------------------------
+    # Core search
+    # ------------------------------------------------------------------
+    def _pop(self, marker: int) -> None:
+        """Roll back the constraint store; reset CEGIS state between candidates.
+
+        The incremental CEGIS solver keeps its solution and examples while a
+        *single* candidate is being checked incrementally (that is what the
+        T-NInc ablation switches off); once the store is rolled back to empty,
+        the next candidate starts from a clean slate so stale examples from
+        unrelated, already-rejected candidates cannot poison its constraints.
+        """
+        self.store.pop(marker)
+        if len(self.store) == 0:
+            self.cegis.reset()
+
+    def _check_time(self) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise SynthesisTimeout()
+        if self.candidates_checked > self.config.max_candidates:
+            raise SynthesisTimeout()
+
+    def _solutions(
+        self, ctx: Context, goal: RType, match_depth: int, cond_depth: int
+    ) -> Iterator[s.Expr]:
+        """Yield expressions that fill the current hole, smallest shapes first."""
+        self._check_time()
+        # Dead branches are filled with `impossible` (Syn-Imp).
+        if self.checker.is_inconsistent(ctx):
+            yield s.Impossible()
+            return
+
+        # 1. E-terms (Syn-Atom / atomic synthesis).
+        for candidate in self._eterm_candidates(ctx, goal.base):
+            self._check_time()
+            self.candidates_checked += 1
+            marker = self.store.push()
+            if self.checker.check_eterm(ctx, candidate, goal) is not None:
+                yield candidate
+            self._pop(marker)
+
+        # 2. Conditionals (Syn-Cond).
+        if cond_depth > 0:
+            yield from self._conditional_solutions(ctx, goal, match_depth, cond_depth)
+
+        # 3. Pattern matches (Syn-MatL).
+        if match_depth > 0:
+            yield from self._match_solutions(ctx, goal, match_depth, cond_depth)
+
+    def _conditional_solutions(
+        self, ctx: Context, goal: RType, match_depth: int, cond_depth: int
+    ) -> Iterator[s.Expr]:
+        for guard in self._guard_candidates(ctx):
+            self._check_time()
+            marker = self.store.push()
+            prepared = self.checker.prepare_guard(ctx, guard)
+            if prepared is None:
+                self.store.pop(marker)
+                continue
+            guard_term, guarded_ctx = prepared
+            # Skip guards already decided by the path condition.
+            if self.checker.entails(guarded_ctx, guard_term) or self.checker.entails(guarded_ctx, t.neg(guard_term)):
+                self.store.pop(marker)
+                continue
+            then_ctx = guarded_ctx.with_path(guard_term)
+            else_ctx = guarded_ctx.with_path(t.neg(guard_term))
+            found = False
+            for then_branch in self._solutions(then_ctx, goal, match_depth, cond_depth - 1):
+                for else_branch in self._solutions(else_ctx, goal, match_depth, cond_depth - 1):
+                    found = True
+                    yield s.If(guard, then_branch, else_branch)
+                if found:
+                    break  # one else-branch per then-branch is enough in practice
+            self._pop(marker)
+
+    def _match_solutions(
+        self, ctx: Context, goal: RType, match_depth: int, cond_depth: int
+    ) -> Iterator[s.Expr]:
+        for name, rtype in ctx.container_vars():
+            if name in ctx.matched or name.startswith("g#"):
+                continue
+            self._check_time()
+            if isinstance(rtype.base, ListBase):
+                index = next(self._fresh)
+                head, tail = f"x{index}", f"xs{index}"
+                contexts = self.checker.match_list_contexts(ctx, name, head, tail)
+                if contexts is None:
+                    continue
+                nil_ctx, cons_ctx = contexts
+                marker = self.store.push()
+                for nil_branch in self._solutions(nil_ctx, goal, match_depth - 1, cond_depth):
+                    for cons_branch in self._solutions(cons_ctx, goal, match_depth - 1, cond_depth):
+                        yield s.MatchList(s.Var(name), nil_branch, head, tail, cons_branch)
+                    break  # keep the first nil branch; alternatives rarely matter
+                self._pop(marker)
+            elif isinstance(rtype.base, TreeBase):
+                index = next(self._fresh)
+                left, value, right = f"l{index}", f"v{index}", f"r{index}"
+                contexts = self.checker.match_tree_contexts(ctx, name, left, value, right)
+                if contexts is None:
+                    continue
+                leaf_ctx, node_ctx = contexts
+                marker = self.store.push()
+                for leaf_branch in self._solutions(leaf_ctx, goal, match_depth - 1, cond_depth):
+                    for node_branch in self._solutions(node_ctx, goal, match_depth - 1, cond_depth):
+                        yield s.MatchTree(s.Var(name), leaf_branch, left, value, right, node_branch)
+                    break
+                self._pop(marker)
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration
+    # ------------------------------------------------------------------
+    def _eterm_candidates(self, ctx: Context, goal_base: BaseType) -> List[s.Expr]:
+        """E-terms whose shape matches the goal base type, ordered by size."""
+        depth = self.config.max_arg_depth + 1
+        candidates = self._terms_of_base(ctx, goal_base, depth, allow_recursion=True)
+        unique = list(dict.fromkeys(candidates))
+        unique.sort(key=lambda e: e.size())
+        return unique
+
+    def _guard_candidates(self, ctx: Context) -> List[s.Expr]:
+        """Boolean guards: applications of Boolean components to scalars in scope."""
+        guards = self._terms_of_base(ctx, BoolBase(), depth=2, allow_recursion=False)
+        filtered = [g for g in guards if isinstance(g, s.App)]
+        filtered.sort(key=lambda e: e.size())
+        return filtered
+
+    def _terms_of_base(
+        self, ctx: Context, base: BaseType, depth: int, allow_recursion: bool
+    ) -> List[s.Expr]:
+        results: List[s.Expr] = []
+        # Variables in scope.
+        for name, rtype in ctx.bindings:
+            if name.startswith(("g#", "b#")):
+                continue
+            if self._base_shapes_match(rtype.base, base):
+                results.append(s.Var(name))
+        # Literals and constructors.
+        if isinstance(base, BoolBase):
+            results.extend([s.BoolLit(True), s.BoolLit(False)])
+        if isinstance(base, (IntBase, TypeVarBase)):
+            results.append(s.IntLit(0))
+        if isinstance(base, ListBase):
+            results.append(s.Nil())
+            if depth > 1:
+                heads = self._terms_of_base(ctx, base.elem.base, depth - 1, allow_recursion)
+                tails = self._terms_of_base(ctx, base, depth - 1, allow_recursion)
+                for head in heads:
+                    for tail in tails:
+                        results.append(s.Cons(head, tail))
+        if isinstance(base, TreeBase):
+            results.append(s.Leaf())
+        # Applications.
+        if depth > 1:
+            results.extend(self._application_candidates(ctx, base, depth, allow_recursion))
+        return results
+
+    def _application_candidates(
+        self, ctx: Context, base: BaseType, depth: int, allow_recursion: bool
+    ) -> List[s.Expr]:
+        results: List[s.Expr] = []
+        callees: List[Tuple[str, ArrowType]] = []
+        for component in self.goal.components:
+            body = component.schema.body
+            if isinstance(body, ArrowType):
+                callees.append((component.name, body))
+        if allow_recursion and ctx.fix is not None:
+            callees.append((ctx.fix.name, ctx.fix.arrow))
+        for name, arrow_type in callees:
+            result = arrow_type.final_result()
+            if not isinstance(result, RType) or not self._base_shapes_match(result.base, base):
+                continue
+            param_types = [ptype for _, ptype in arrow_type.params()]
+            if any(isinstance(p, ArrowType) for p in param_types):
+                continue  # higher-order components are used only via explicit goals
+            arg_choices: List[List[s.Expr]] = []
+            for ptype in param_types:
+                assert isinstance(ptype, RType)
+                choices = self._terms_of_base(ctx, ptype.base, depth - 1, allow_recursion=allow_recursion)
+                arg_choices.append(choices)
+            if any(not choices for choices in arg_choices):
+                continue
+            for combo in itertools.product(*arg_choices):
+                results.append(s.App(name, tuple(combo)))
+        return results
+
+    def _base_shapes_match(self, result: BaseType, goal: BaseType) -> bool:
+        """Loose shape compatibility used for enumeration (subtyping filters later)."""
+        result_is_container = isinstance(result, (ListBase, TreeBase))
+        goal_is_container = isinstance(goal, (ListBase, TreeBase))
+        if result_is_container != goal_is_container:
+            return False
+        if result_is_container:
+            return type(result) is type(goal)
+        return base_compatible(result, goal)
+
+
+# ---------------------------------------------------------------------------
+# Convenience functions
+# ---------------------------------------------------------------------------
+
+
+def synthesize(goal: SynthesisGoal, config: Optional[SynthesisConfig] = None) -> SynthesisResult:
+    """Synthesize a program for ``goal`` under ``config`` (default: ReSyn)."""
+    return Synthesizer(goal, config).synthesize()
+
+
+def verify(
+    program: s.Fix,
+    goal: SynthesisGoal,
+    resource_aware: bool = True,
+    constant_resource: bool = False,
+) -> bool:
+    """Check a complete program against a goal (used by tests and the EAC mode)."""
+    config = CheckerConfig(
+        resource_aware=resource_aware,
+        constant_resource=constant_resource,
+        check_termination=False,
+    )
+    checker = TypeChecker(goal.component_schemas(), config)
+    return checker.check_program(program, with_default_cost(goal.schema))

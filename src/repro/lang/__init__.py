@@ -1,0 +1,26 @@
+"""Re2 core language: abstract syntax and helpers."""
+
+from repro.lang.syntax import (
+    App,
+    BoolLit,
+    Cons,
+    Expr,
+    Fix,
+    If,
+    Impossible,
+    IntLit,
+    Lambda,
+    Leaf,
+    Let,
+    MatchList,
+    MatchTree,
+    Nil,
+    Node,
+    Tick,
+    Var,
+    count_recursive_calls,
+    free_program_vars,
+    is_atom,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,305 @@
+"""Abstract syntax of the Re2 core language (Fig. 4 of the paper).
+
+The synthesizer manipulates programs in a lightly sugared a-normal form:
+applications are n-ary (curried application spines are collapsed), and the
+``let``-bindings that the formal system threads through atomic synthesis are
+introduced implicitly by the type checker when it encounters non-atomic
+arguments.  The constructors below correspond to the grammar of Fig. 4:
+
+====================  =======================================================
+Paper                 Here
+====================  =======================================================
+``x``                 :class:`Var`
+``true``/``false``    :class:`BoolLit`
+(surface integers)    :class:`IntLit`
+``nil``               :class:`Nil`
+``cons(ah, at)``      :class:`Cons`
+``λ(x. e)``           :class:`Lambda`
+``fix(f. x. e)``      :class:`Fix`
+``app(e1, e2)``       :class:`App` (n-ary)
+``if(a, e1, e2)``     :class:`If`
+``matl(a, e1, e2)``   :class:`MatchList`
+``let(e1, x. e2)``    :class:`Let`
+``impossible``        :class:`Impossible`
+``tick(c, e)``        :class:`Tick`
+====================  =======================================================
+
+Binary trees (used by the tree/BST/heap groups of Table 1) are provided as a
+second built-in inductive type with :class:`Leaf`, :class:`Node` and
+:class:`MatchTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+
+class Expr:
+    """Base class of Re2 expressions."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Number of AST nodes (the `Code` metric of Table 1)."""
+        return 1 + sum(child.size() for child in self.children())
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A program variable occurrence."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return "True" if self.value else "False"
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Nil(Expr):
+    """The empty-list constructor (``Nil`` / ``SNil``)."""
+
+    def __str__(self) -> str:
+        return "Nil"
+
+
+@dataclass(frozen=True)
+class Cons(Expr):
+    """The list constructor ``Cons head tail`` (``SCons`` for sorted lists)."""
+
+    head: Expr
+    tail: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.head, self.tail)
+
+    def __str__(self) -> str:
+        return f"(Cons {self.head} {self.tail})"
+
+
+@dataclass(frozen=True)
+class Leaf(Expr):
+    """The empty-tree constructor."""
+
+    def __str__(self) -> str:
+        return "Leaf"
+
+
+@dataclass(frozen=True)
+class Node(Expr):
+    """The binary-tree constructor ``Node left value right``."""
+
+    left: Expr
+    value: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.value, self.right)
+
+    def __str__(self) -> str:
+        return f"(Node {self.left} {self.value} {self.right})"
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application of a component or bound function to arguments."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.func
+        return "(" + self.func + " " + " ".join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then_branch, self.else_branch)
+
+    def __str__(self) -> str:
+        return f"(if {self.cond} then {self.then_branch} else {self.else_branch})"
+
+
+@dataclass(frozen=True)
+class MatchList(Expr):
+    """``match scrutinee with Nil -> nil_branch | Cons h t -> cons_branch``."""
+
+    scrutinee: Expr
+    nil_branch: Expr
+    head_name: str
+    tail_name: str
+    cons_branch: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.scrutinee, self.nil_branch, self.cons_branch)
+
+    def __str__(self) -> str:
+        return (
+            f"(match {self.scrutinee} with Nil -> {self.nil_branch} "
+            f"| Cons {self.head_name} {self.tail_name} -> {self.cons_branch})"
+        )
+
+
+@dataclass(frozen=True)
+class MatchTree(Expr):
+    """``match scrutinee with Leaf -> leaf_branch | Node l v r -> node_branch``."""
+
+    scrutinee: Expr
+    leaf_branch: Expr
+    left_name: str
+    value_name: str
+    right_name: str
+    node_branch: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.scrutinee, self.leaf_branch, self.node_branch)
+
+    def __str__(self) -> str:
+        return (
+            f"(match {self.scrutinee} with Leaf -> {self.leaf_branch} "
+            f"| Node {self.left_name} {self.value_name} {self.right_name} -> {self.node_branch})"
+        )
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    name: str
+    rhs: Expr
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.rhs, self.body)
+
+    def __str__(self) -> str:
+        return f"(let {self.name} = {self.rhs} in {self.body})"
+
+
+@dataclass(frozen=True)
+class Lambda(Expr):
+    params: Tuple[str, ...]
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"(\\{' '.join(self.params)} . {self.body})"
+
+
+@dataclass(frozen=True)
+class Fix(Expr):
+    """A recursive function ``fix f. λ params. body``."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"(fix {self.name} \\{' '.join(self.params)} . {self.body})"
+
+
+@dataclass(frozen=True)
+class Tick(Expr):
+    """``tick(cost, expr)``: consume ``cost`` resources, then evaluate ``expr``."""
+
+    cost: int
+    expr: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"(tick {self.cost} {self.expr})"
+
+
+@dataclass(frozen=True)
+class Impossible(Expr):
+    """Placeholder for unreachable code (dead match/conditional branches)."""
+
+    def __str__(self) -> str:
+        return "impossible"
+
+
+def is_atom(expr: Expr) -> bool:
+    """Whether ``expr`` is an atom in the sense of Fig. 4 (``a``/``â``)."""
+    if isinstance(expr, (Var, BoolLit, IntLit, Nil, Leaf)):
+        return True
+    if isinstance(expr, Cons):
+        return is_atom(expr.head) and is_atom(expr.tail)
+    if isinstance(expr, Node):
+        return all(is_atom(c) for c in expr.children())
+    return False
+
+
+def free_program_vars(expr: Expr) -> frozenset[str]:
+    """Free program variables of an expression."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, App):
+        result = frozenset((expr.func,))
+        for arg in expr.args:
+            result |= free_program_vars(arg)
+        return result
+    if isinstance(expr, MatchList):
+        bound = {expr.head_name, expr.tail_name}
+        return (
+            free_program_vars(expr.scrutinee)
+            | free_program_vars(expr.nil_branch)
+            | (free_program_vars(expr.cons_branch) - bound)
+        )
+    if isinstance(expr, MatchTree):
+        bound = {expr.left_name, expr.value_name, expr.right_name}
+        return (
+            free_program_vars(expr.scrutinee)
+            | free_program_vars(expr.leaf_branch)
+            | (free_program_vars(expr.node_branch) - bound)
+        )
+    if isinstance(expr, Let):
+        return free_program_vars(expr.rhs) | (free_program_vars(expr.body) - {expr.name})
+    if isinstance(expr, Lambda):
+        return free_program_vars(expr.body) - set(expr.params)
+    if isinstance(expr, Fix):
+        return free_program_vars(expr.body) - set(expr.params) - {expr.name}
+    result: frozenset[str] = frozenset()
+    for child in expr.children():
+        result |= free_program_vars(child)
+    return result
+
+
+def count_recursive_calls(expr: Expr, name: str) -> int:
+    """Number of syntactic recursive-call sites of ``name`` in ``expr``."""
+    return sum(1 for sub in expr.walk() if isinstance(sub, App) and sub.func == name)

@@ -1,0 +1,189 @@
+"""Sort checking for refinement terms (the judgment ``Γ ⊢ ψ ∈ Δ``).
+
+Appendix A of the paper defines a sorting judgment that assigns a sort to
+every well-formed refinement.  This module implements the corresponding
+checker.  It is used by the well-formedness rules of the type system and by
+tests that validate hand-written component libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.logic import terms as t
+from repro.logic.sorts import BOOL, DATA, INT, SET, Sort
+from repro.logic.terms import Term
+
+
+class SortError(Exception):
+    """Raised when a refinement term is not well-sorted."""
+
+
+@dataclass(frozen=True)
+class MeasureSignature:
+    """The sort signature of a measure or uninterpreted function."""
+
+    name: str
+    arg_sorts: Tuple[Sort, ...]
+    result_sort: Sort
+
+
+#: Measures that are built into the surface language and the benchmarks.
+BUILTIN_MEASURES: Dict[str, MeasureSignature] = {
+    "len": MeasureSignature("len", (DATA,), INT),
+    "elems": MeasureSignature("elems", (DATA,), SET),
+    "selems": MeasureSignature("selems", (DATA,), SET),
+    "numgt": MeasureSignature("numgt", (INT, DATA), INT),
+    "numlt": MeasureSignature("numlt", (INT, DATA), INT),
+    "size": MeasureSignature("size", (DATA,), INT),
+    "telems": MeasureSignature("telems", (DATA,), SET),
+    "lbound": MeasureSignature("lbound", (DATA,), INT),
+    "sumlen": MeasureSignature("sumlen", (DATA,), INT),
+}
+
+
+@dataclass
+class SortEnv:
+    """A sorting environment: variable sorts plus known measure signatures."""
+
+    variables: Dict[str, Sort] = field(default_factory=dict)
+    measures: Dict[str, MeasureSignature] = field(default_factory=lambda: dict(BUILTIN_MEASURES))
+
+    def extended(self, name: str, sort: Sort) -> "SortEnv":
+        """A copy of this environment with one extra variable binding."""
+        new_vars = dict(self.variables)
+        new_vars[name] = sort
+        return SortEnv(new_vars, self.measures)
+
+
+def sort_of(term: Term, env: Optional[SortEnv] = None) -> Sort:
+    """Compute the sort of ``term`` under ``env``, raising :class:`SortError`.
+
+    Unknown variables are given their declared node sort (so partially
+    specified environments are usable in tests); a variable that *is* declared
+    must agree with its node sort up to the numeric/uninterpreted distinction.
+    """
+    env = env or SortEnv()
+    return _sort_of(term, env)
+
+
+def check_bool(term: Term, env: Optional[SortEnv] = None) -> None:
+    """Check that ``term`` is a logical refinement (sort ``BOOL``)."""
+    sort = sort_of(term, env)
+    if sort != BOOL:
+        raise SortError(f"expected a Boolean refinement, got sort {sort} for {term}")
+
+
+def check_potential(term: Term, env: Optional[SortEnv] = None) -> None:
+    """Check that ``term`` is a potential annotation (numeric sort)."""
+    sort = sort_of(term, env)
+    if not sort.is_numeric:
+        raise SortError(f"expected a numeric potential term, got sort {sort} for {term}")
+
+
+def _sort_of(term: Term, env: SortEnv) -> Sort:
+    if isinstance(term, t.Var):
+        declared = env.variables.get(term.name)
+        if declared is None:
+            return term.sort
+        return declared
+    if isinstance(term, t.IntConst):
+        return INT
+    if isinstance(term, t.BoolConst):
+        return BOOL
+    if isinstance(term, (t.Add, t.Sub, t.Mul)):
+        _expect_numeric(term.left, env)
+        _expect_numeric(term.right, env)
+        return INT
+    if isinstance(term, t.Ite):
+        _expect(term.cond, BOOL, env)
+        then_sort = _sort_of(term.then_branch, env)
+        else_sort = _sort_of(term.else_branch, env)
+        if then_sort != else_sort and not (then_sort.is_numeric and else_sort.is_numeric):
+            raise SortError(f"branches of {term} have sorts {then_sort} and {else_sort}")
+        return then_sort
+    if isinstance(term, (t.Le, t.Lt, t.Ge, t.Gt)):
+        _expect_numeric(term.left, env)
+        _expect_numeric(term.right, env)
+        return BOOL
+    if isinstance(term, t.Eq):
+        left = _sort_of(term.left, env)
+        right = _sort_of(term.right, env)
+        if left != right and not (left.is_numeric and right.is_numeric):
+            raise SortError(f"equality between sorts {left} and {right} in {term}")
+        return BOOL
+    if isinstance(term, t.Not):
+        _expect(term.arg, BOOL, env)
+        return BOOL
+    if isinstance(term, (t.And, t.Or)):
+        for arg in term.args:
+            _expect(arg, BOOL, env)
+        return BOOL
+    if isinstance(term, t.Implies):
+        _expect(term.antecedent, BOOL, env)
+        _expect(term.consequent, BOOL, env)
+        return BOOL
+    if isinstance(term, t.Iff):
+        _expect(term.left, BOOL, env)
+        _expect(term.right, BOOL, env)
+        return BOOL
+    if isinstance(term, t.App):
+        signature = env.measures.get(term.func)
+        if signature is None:
+            # Unknown measures are accepted with their node sort; the SMT layer
+            # treats them as uninterpreted anyway.
+            return term.sort
+        if len(signature.arg_sorts) != len(term.args):
+            raise SortError(
+                f"measure {term.func} expects {len(signature.arg_sorts)} "
+                f"arguments, got {len(term.args)}"
+            )
+        for arg, expected in zip(term.args, signature.arg_sorts):
+            actual = _sort_of(arg, env)
+            if expected == DATA:
+                continue  # any program value can be the argument of a measure
+            if expected != actual and not (expected.is_numeric and actual.is_numeric):
+                raise SortError(f"argument {arg} of {term.func} has sort {actual}, expected {expected}")
+        return signature.result_sort
+    if isinstance(term, t.EmptySet):
+        return SET
+    if isinstance(term, t.SetSingleton):
+        _expect_element(term.elem, env)
+        return SET
+    if isinstance(term, (t.SetUnion, t.SetIntersect, t.SetDiff)):
+        _expect(term.left, SET, env)
+        _expect(term.right, SET, env)
+        return SET
+    if isinstance(term, t.SetMember):
+        _expect_element(term.elem, env)
+        _expect(term.set_term, SET, env)
+        return BOOL
+    if isinstance(term, t.SetSubset):
+        _expect(term.left, SET, env)
+        _expect(term.right, SET, env)
+        return BOOL
+    if isinstance(term, t.SetAll):
+        _expect(term.set_term, SET, env)
+        inner = env.extended(term.var, INT)
+        _expect(term.body, BOOL, inner)
+        return BOOL
+    raise SortError(f"unknown term constructor {type(term).__name__}")
+
+
+def _expect(term: Term, sort: Sort, env: SortEnv) -> None:
+    actual = _sort_of(term, env)
+    if actual != sort and not (sort.is_numeric and actual.is_numeric):
+        raise SortError(f"{term} has sort {actual}, expected {sort}")
+
+
+def _expect_numeric(term: Term, env: SortEnv) -> None:
+    actual = _sort_of(term, env)
+    if not actual.is_numeric:
+        raise SortError(f"{term} has sort {actual}, expected a numeric sort")
+
+
+def _expect_element(term: Term, env: SortEnv) -> None:
+    actual = _sort_of(term, env)
+    if actual.kind not in ("int", "bool", "uninterpreted"):
+        raise SortError(f"{term} has sort {actual}, expected an element sort")

@@ -1,0 +1,794 @@
+"""Term language of the Re2 refinement logic.
+
+Refinement terms (``psi`` and ``phi`` in Fig. 5 of the paper) are first-order
+terms over program variables.  Logical refinements have sort ``BOOL`` and
+potential annotations have sort ``INT`` (restricted to non-negative values by
+well-formedness constraints, see :mod:`repro.typing.wellformed`).
+
+The term language implemented here covers the fragment used by the ReSyn
+implementation (Sec. 4.3):
+
+* linear integer arithmetic with conditionals (``Ite``),
+* Boolean connectives,
+* applications of *measures* (``len``, ``elems``, ``numgt``, ...) and other
+  uninterpreted functions,
+* finite-set operations and a bounded set quantifier ``SetAll`` used to state
+  element-wise facts such as sortedness ("every element of ``xs`` is greater
+  than ``x``").
+
+Terms are immutable (frozen dataclasses) and hashable, so they can be used as
+dictionary keys by the SMT layer and the constraint solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.logic.sorts import BOOL, DATA, INT, SET, Sort
+
+
+class Term:
+    """Base class of refinement terms.
+
+    Subclasses are frozen dataclasses; all children of a term are themselves
+    terms (or plain Python values for leaves).  The class provides operator
+    overloading for the arithmetic and logical connectives so that refinements
+    can be written compactly when building component libraries, e.g.::
+
+        len_(nu) == len_(xs) + len_(ys)
+    """
+
+    sort: Sort
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "Term | int") -> "Term":
+        return Add(self, _coerce(other))
+
+    def __radd__(self, other: "Term | int") -> "Term":
+        return Add(_coerce(other), self)
+
+    def __sub__(self, other: "Term | int") -> "Term":
+        return Sub(self, _coerce(other))
+
+    def __rsub__(self, other: "Term | int") -> "Term":
+        return Sub(_coerce(other), self)
+
+    def __mul__(self, other: "Term | int") -> "Term":
+        return Mul(self, _coerce(other))
+
+    def __rmul__(self, other: "Term | int") -> "Term":
+        return Mul(_coerce(other), self)
+
+    def __neg__(self) -> "Term":
+        return Sub(IntConst(0), self)
+
+    # -- comparisons (note: __eq__ is reserved for structural equality) --
+    def __le__(self, other: "Term | int") -> "Term":
+        return Le(self, _coerce(other))
+
+    def __lt__(self, other: "Term | int") -> "Term":
+        return Lt(self, _coerce(other))
+
+    def __ge__(self, other: "Term | int") -> "Term":
+        return Ge(self, _coerce(other))
+
+    def __gt__(self, other: "Term | int") -> "Term":
+        return Gt(self, _coerce(other))
+
+    def eq(self, other: "Term | int") -> "Term":
+        """The logical equality atom ``self = other``."""
+        return Eq(self, _coerce(other))
+
+    def neq(self, other: "Term | int") -> "Term":
+        """The logical disequality atom ``self != other``."""
+        return Not(Eq(self, _coerce(other)))
+
+    # -- boolean connectives ---------------------------------------------
+    def __and__(self, other: "Term") -> "Term":
+        return And((self, _coerce(other)))
+
+    def __or__(self, other: "Term") -> "Term":
+        return Or((self, _coerce(other)))
+
+    def __invert__(self) -> "Term":
+        return Not(self)
+
+    def implies(self, other: "Term") -> "Term":
+        """The implication ``self ==> other``."""
+        return Implies(self, other)
+
+    def iff(self, other: "Term") -> "Term":
+        """The bi-implication ``self <=> other``."""
+        return Iff(self, other)
+
+    # -- traversal --------------------------------------------------------
+    def children(self) -> Tuple["Term", ...]:
+        """Immediate sub-terms of this term."""
+        return ()
+
+    def walk(self) -> Iterator["Term"]:
+        """All sub-terms (including this one), pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def _coerce(value: "Term | int | bool") -> Term:
+    """Turn Python literals into term constants."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return IntConst(value)
+    raise TypeError(f"cannot coerce {value!r} to a refinement term")
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A program variable (or the value variable ``nu``) of a given sort."""
+
+    name: str
+    sort: Sort = INT
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntConst(Term):
+    """An integer literal."""
+
+    value: int
+    sort: Sort = field(default=INT, init=False)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolConst(Term):
+    """A Boolean literal (``True`` or ``False``)."""
+
+    value: bool
+    sort: Sort = field(default=BOOL, init=False)
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+ZERO = IntConst(0)
+ONE = IntConst(1)
+
+#: The canonical value variable of refinement types.
+NU = Var("_v", INT)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Add(Term):
+    """Integer addition."""
+
+    left: Term
+    right: Term
+    sort: Sort = field(default=INT, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Sub(Term):
+    """Integer subtraction."""
+
+    left: Term
+    right: Term
+    sort: Sort = field(default=INT, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} - {self.right})"
+
+
+@dataclass(frozen=True)
+class Mul(Term):
+    """Multiplication.
+
+    The resource fragment of Re2 is linear, so at least one operand of every
+    multiplication must eventually simplify to a constant; this is checked by
+    the linearizer in :mod:`repro.smt.linearize`, not here.
+    """
+
+    left: Term
+    right: Term
+    sort: Sort = field(default=INT, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} * {self.right})"
+
+
+@dataclass(frozen=True)
+class Ite(Term):
+    """Conditional term ``if cond then then_branch else else_branch``.
+
+    Used by dependent potential annotations such as ``ite(nu < x, 1, 0)``
+    (Sec. 2.3, benchmark 9 of Table 2).
+    """
+
+    cond: Term
+    then_branch: Term
+    else_branch: Term
+    sort: Sort = INT
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.cond, self.then_branch, self.else_branch)
+
+    def __str__(self) -> str:
+        return f"(if {self.cond} then {self.then_branch} else {self.else_branch})"
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Le(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} <= {self.right})"
+
+
+@dataclass(frozen=True)
+class Lt(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} < {self.right})"
+
+
+@dataclass(frozen=True)
+class Ge(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} >= {self.right})"
+
+
+@dataclass(frozen=True)
+class Gt(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} > {self.right})"
+
+
+@dataclass(frozen=True)
+class Eq(Term):
+    """Equality; both operands must have the same sort.
+
+    Equality between data-sorted terms is interpreted by the SMT encoder as
+    equality of all registered measures of the two terms.
+    """
+
+    left: Term
+    right: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} == {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Not(Term):
+    arg: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.arg,)
+
+    def __str__(self) -> str:
+        return f"(not {self.arg})"
+
+
+@dataclass(frozen=True)
+class And(Term):
+    args: Tuple[Term, ...]
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        if not self.args:
+            return "true"
+        return "(" + " && ".join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Term):
+    args: Tuple[Term, ...]
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        if not self.args:
+            return "false"
+        return "(" + " || ".join(str(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Term):
+    antecedent: Term
+    consequent: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.antecedent, self.consequent)
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} ==> {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Iff(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} <=> {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Measures and uninterpreted applications
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application of a measure or uninterpreted function, e.g. ``len xs``.
+
+    Measures are the logic-level functions of Synquid (Sec. 2.1): ``len``,
+    ``elems``, ``selems``, ``numgt`` and so on.  The SMT layer treats each
+    application as an opaque variable and instantiates congruence axioms
+    explicitly, as described in Sec. 4.3 of the paper.
+    """
+
+    func: str
+    args: Tuple[Term, ...]
+    sort: Sort = INT
+
+    def children(self) -> Tuple[Term, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Sets
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmptySet(Term):
+    """The empty set literal ``{}``."""
+
+    sort: Sort = field(default=SET, init=False)
+
+    def __str__(self) -> str:
+        return "{}"
+
+
+@dataclass(frozen=True)
+class SetSingleton(Term):
+    """The singleton set ``{elem}``."""
+
+    elem: Term
+    sort: Sort = field(default=SET, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.elem,)
+
+    def __str__(self) -> str:
+        return f"{{{self.elem}}}"
+
+
+@dataclass(frozen=True)
+class SetUnion(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=SET, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∪ {self.right})"
+
+
+@dataclass(frozen=True)
+class SetIntersect(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=SET, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∩ {self.right})"
+
+
+@dataclass(frozen=True)
+class SetDiff(Term):
+    left: Term
+    right: Term
+    sort: Sort = field(default=SET, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} − {self.right})"
+
+
+@dataclass(frozen=True)
+class SetMember(Term):
+    """Membership atom ``elem in set_term``."""
+
+    elem: Term
+    set_term: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.elem, self.set_term)
+
+    def __str__(self) -> str:
+        return f"({self.elem} ∈ {self.set_term})"
+
+
+@dataclass(frozen=True)
+class SetSubset(Term):
+    """Subset atom ``left ⊆ right``."""
+
+    left: Term
+    right: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ⊆ {self.right})"
+
+
+@dataclass(frozen=True)
+class SetAll(Term):
+    """Bounded quantification ``forall var in set_term. body``.
+
+    Used to state element-wise invariants such as sortedness of a list tail
+    ("every element of ``selems xs`` is greater than ``x``").  The SMT encoder
+    instantiates the quantifier over the finite set of element terms occurring
+    in the query, which is sound for validity checking (Appendix B reduces the
+    full logic to Presburger arithmetic in the same spirit).
+    """
+
+    var: str
+    set_term: Term
+    body: Term
+    sort: Sort = field(default=BOOL, init=False)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.set_term, self.body)
+
+    def __str__(self) -> str:
+        return f"(∀{self.var} ∈ {self.set_term}. {self.body})"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def conj(*terms: Term) -> Term:
+    """Conjunction with unit/absorption simplification."""
+    flat: list[Term] = []
+    for t in terms:
+        if isinstance(t, BoolConst):
+            if not t.value:
+                return FALSE
+            continue
+        if isinstance(t, And):
+            flat.extend(t.args)
+        else:
+            flat.append(t)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*terms: Term) -> Term:
+    """Disjunction with unit/absorption simplification."""
+    flat: list[Term] = []
+    for t in terms:
+        if isinstance(t, BoolConst):
+            if t.value:
+                return TRUE
+            continue
+        if isinstance(t, Or):
+            flat.extend(t.args)
+        else:
+            flat.append(t)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def neg(term: Term) -> Term:
+    """Negation with double-negation and constant simplification."""
+    if isinstance(term, BoolConst):
+        return BoolConst(not term.value)
+    if isinstance(term, Not):
+        return term.arg
+    return Not(term)
+
+
+def implies(antecedent: Term, consequent: Term) -> Term:
+    """Implication with constant simplification."""
+    if isinstance(antecedent, BoolConst):
+        return consequent if antecedent.value else TRUE
+    if isinstance(consequent, BoolConst) and consequent.value:
+        return TRUE
+    return Implies(antecedent, consequent)
+
+
+def add(*terms: "Term | int") -> Term:
+    """N-ary sum with constant folding of zero."""
+    result: Optional[Term] = None
+    const = 0
+    for t in terms:
+        t = _coerce(t)
+        if isinstance(t, IntConst):
+            const += t.value
+            continue
+        result = t if result is None else Add(result, t)
+    if result is None:
+        return IntConst(const)
+    if const == 0:
+        return result
+    return Add(result, IntConst(const))
+
+
+def int_var(name: str) -> Var:
+    """An integer-sorted refinement variable."""
+    return Var(name, INT)
+
+
+def bool_var(name: str) -> Var:
+    """A Boolean-sorted refinement variable."""
+    return Var(name, BOOL)
+
+
+def data_var(name: str) -> Var:
+    """A data-sorted refinement variable (argument of measures)."""
+    return Var(name, DATA)
+
+
+def set_var(name: str) -> Var:
+    """A set-sorted refinement variable."""
+    return Var(name, SET)
+
+
+# -- measure helpers used throughout the code base ---------------------------
+
+
+def len_(term: Term) -> App:
+    """The length measure of a list-valued term."""
+    return App("len", (term,), INT)
+
+
+def elems(term: Term) -> App:
+    """The set-of-elements measure of a list-valued term."""
+    return App("elems", (term,), SET)
+
+
+def numgt(pivot: Term, term: Term) -> App:
+    """Number of elements of ``term`` strictly greater than ``pivot``.
+
+    Used by the ``insert'`` case study (benchmark 8 of Table 2).
+    """
+    return App("numgt", (pivot, term), INT)
+
+
+def numlt(pivot: Term, term: Term) -> App:
+    """Number of elements of ``term`` strictly smaller than ``pivot``."""
+    return App("numlt", (pivot, term), INT)
+
+
+def heads(term: Term) -> App:
+    """Lower bound certificate measure used for sorted lists (internal)."""
+    return App("lbound", (term,), INT)
+
+
+# ---------------------------------------------------------------------------
+# Free variables and substitution
+# ---------------------------------------------------------------------------
+
+
+def free_vars(term: Term) -> frozenset[str]:
+    """Names of free variables of ``term``.
+
+    The only binder in the logic is :class:`SetAll`; its bound variable is
+    removed from the free variables of its body.
+    """
+    if isinstance(term, Var):
+        return frozenset((term.name,))
+    if isinstance(term, SetAll):
+        return free_vars(term.set_term) | (free_vars(term.body) - {term.var})
+    result: frozenset[str] = frozenset()
+    for child in term.children():
+        result |= free_vars(child)
+    return result
+
+
+def free_var_terms(term: Term) -> frozenset[Var]:
+    """Free variables of ``term`` as :class:`Var` nodes (with their sorts)."""
+    if isinstance(term, Var):
+        return frozenset((term,))
+    if isinstance(term, SetAll):
+        inner = frozenset(v for v in free_var_terms(term.body) if v.name != term.var)
+        return free_var_terms(term.set_term) | inner
+    result: frozenset[Var] = frozenset()
+    for child in term.children():
+        result |= free_var_terms(child)
+    return result
+
+
+def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Capture-avoiding substitution of variables by terms.
+
+    ``mapping`` maps variable *names* to replacement terms.  Substitution under
+    a :class:`SetAll` binder removes the bound variable from the mapping (the
+    bound variable is always chosen fresh by construction, so no renaming is
+    needed).
+    """
+    if not mapping:
+        return term
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, SetAll):
+        inner = {k: v for k, v in mapping.items() if k != term.var}
+        return SetAll(term.var, substitute(term.set_term, mapping), substitute(term.body, inner))
+    if isinstance(term, (IntConst, BoolConst, EmptySet)):
+        return term
+    children = term.children()
+    new_children = tuple(substitute(c, mapping) for c in children)
+    if new_children == children:
+        return term
+    return _rebuild(term, new_children)
+
+
+def _rebuild(term: Term, children: Tuple[Term, ...]) -> Term:
+    """Rebuild a term node with new children (same shape)."""
+    if isinstance(term, Add):
+        return Add(*children)
+    if isinstance(term, Sub):
+        return Sub(*children)
+    if isinstance(term, Mul):
+        return Mul(*children)
+    if isinstance(term, Ite):
+        return Ite(children[0], children[1], children[2], term.sort)
+    if isinstance(term, Le):
+        return Le(*children)
+    if isinstance(term, Lt):
+        return Lt(*children)
+    if isinstance(term, Ge):
+        return Ge(*children)
+    if isinstance(term, Gt):
+        return Gt(*children)
+    if isinstance(term, Eq):
+        return Eq(*children)
+    if isinstance(term, Not):
+        return Not(children[0])
+    if isinstance(term, And):
+        return And(children)
+    if isinstance(term, Or):
+        return Or(children)
+    if isinstance(term, Implies):
+        return Implies(*children)
+    if isinstance(term, Iff):
+        return Iff(*children)
+    if isinstance(term, App):
+        return App(term.func, children, term.sort)
+    if isinstance(term, SetSingleton):
+        return SetSingleton(children[0])
+    if isinstance(term, SetUnion):
+        return SetUnion(*children)
+    if isinstance(term, SetIntersect):
+        return SetIntersect(*children)
+    if isinstance(term, SetDiff):
+        return SetDiff(*children)
+    if isinstance(term, SetMember):
+        return SetMember(*children)
+    if isinstance(term, SetSubset):
+        return SetSubset(*children)
+    raise TypeError(f"cannot rebuild term of type {type(term).__name__}")
+
+
+def rename(term: Term, mapping: Mapping[str, str]) -> Term:
+    """Rename free variables, preserving their sorts."""
+    substitution: dict[str, Term] = {}
+    for var in free_var_terms(term):
+        if var.name in mapping:
+            substitution[var.name] = Var(mapping[var.name], var.sort)
+    return substitute(term, substitution)
+
+
+def apps_in(term: Term) -> frozenset[App]:
+    """All measure/uninterpreted applications occurring in ``term``."""
+    return frozenset(t for t in term.walk() if isinstance(t, App))
+
+
+def contains_var(term: Term, name: str) -> bool:
+    """Whether ``name`` occurs free in ``term``."""
+    return name in free_vars(term)

@@ -1,0 +1,138 @@
+"""Executable semantics of refinements and measures over concrete values.
+
+Appendix B gives refinements a denotational semantics; this module implements
+the corresponding evaluator over runtime values.  It is used to
+
+* cross-validate synthesized programs: the test suite evaluates the goal
+  refinement on concrete inputs/outputs produced by the interpreter, and
+* evaluate dependent potential annotations on concrete inputs, which yields
+  the *exact symbolic bound value* used by the benchmark harness to compare
+  measured cost against the typed bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.logic import terms as t
+from repro.logic.terms import Term
+from repro.semantics.values import Value, VTree
+
+
+class RefinementEvalError(Exception):
+    """Raised when a refinement cannot be evaluated on the given values."""
+
+
+def eval_measure(name: str, *args: Value):
+    """Evaluate a built-in measure on concrete values."""
+    if name == "len":
+        (arg,) = args
+        return len(arg)
+    if name in ("elems", "selems"):
+        (arg,) = args
+        return frozenset(arg)
+    if name == "numgt":
+        pivot, arg = args
+        return sum(1 for item in arg if item > pivot)
+    if name == "numlt":
+        pivot, arg = args
+        return sum(1 for item in arg if item < pivot)
+    if name == "size":
+        (arg,) = args
+        if isinstance(arg, VTree):
+            return arg.size()
+        return len(arg)
+    if name == "telems":
+        (arg,) = args
+        return arg.elements()
+    if name == "sumlen":
+        (arg,) = args
+        return sum(len(inner) for inner in arg)
+    if name == "numuniq":
+        (arg,) = args
+        return len(frozenset(arg))
+    raise RefinementEvalError(f"unknown measure {name}")
+
+
+def eval_term(term: Term, env: Mapping[str, Value]):
+    """Evaluate a refinement term under a concrete environment.
+
+    Booleans evaluate to ``bool``, numeric terms to ``int`` and set terms to
+    ``frozenset``.  Uninterpreted-sorted values are treated as ordinary
+    integers (the surface language's implicit ``Ord`` constraint).
+    """
+    if isinstance(term, t.Var):
+        if term.name not in env:
+            raise RefinementEvalError(f"unbound refinement variable {term.name}")
+        return env[term.name]
+    if isinstance(term, t.IntConst):
+        return term.value
+    if isinstance(term, t.BoolConst):
+        return term.value
+    if isinstance(term, t.Add):
+        return eval_term(term.left, env) + eval_term(term.right, env)
+    if isinstance(term, t.Sub):
+        return eval_term(term.left, env) - eval_term(term.right, env)
+    if isinstance(term, t.Mul):
+        return eval_term(term.left, env) * eval_term(term.right, env)
+    if isinstance(term, t.Ite):
+        return eval_term(term.then_branch if eval_term(term.cond, env) else term.else_branch, env)
+    if isinstance(term, t.Le):
+        return eval_term(term.left, env) <= eval_term(term.right, env)
+    if isinstance(term, t.Lt):
+        return eval_term(term.left, env) < eval_term(term.right, env)
+    if isinstance(term, t.Ge):
+        return eval_term(term.left, env) >= eval_term(term.right, env)
+    if isinstance(term, t.Gt):
+        return eval_term(term.left, env) > eval_term(term.right, env)
+    if isinstance(term, t.Eq):
+        return eval_term(term.left, env) == eval_term(term.right, env)
+    if isinstance(term, t.Not):
+        return not eval_term(term.arg, env)
+    if isinstance(term, t.And):
+        return all(eval_term(a, env) for a in term.args)
+    if isinstance(term, t.Or):
+        return any(eval_term(a, env) for a in term.args)
+    if isinstance(term, t.Implies):
+        return (not eval_term(term.antecedent, env)) or eval_term(term.consequent, env)
+    if isinstance(term, t.Iff):
+        return eval_term(term.left, env) == eval_term(term.right, env)
+    if isinstance(term, t.App):
+        args = tuple(eval_term(a, env) for a in term.args)
+        return eval_measure(term.func, *args)
+    if isinstance(term, t.EmptySet):
+        return frozenset()
+    if isinstance(term, t.SetSingleton):
+        return frozenset((eval_term(term.elem, env),))
+    if isinstance(term, t.SetUnion):
+        return eval_term(term.left, env) | eval_term(term.right, env)
+    if isinstance(term, t.SetIntersect):
+        return eval_term(term.left, env) & eval_term(term.right, env)
+    if isinstance(term, t.SetDiff):
+        return eval_term(term.left, env) - eval_term(term.right, env)
+    if isinstance(term, t.SetMember):
+        return eval_term(term.elem, env) in eval_term(term.set_term, env)
+    if isinstance(term, t.SetSubset):
+        return eval_term(term.left, env) <= eval_term(term.right, env)
+    if isinstance(term, t.SetAll):
+        collection = eval_term(term.set_term, env)
+        return all(eval_term(term.body, {**env, term.var: item}) for item in collection)
+    raise RefinementEvalError(f"cannot evaluate refinement term {term}")
+
+
+def holds(refinement: Term, env: Mapping[str, Value]) -> bool:
+    """Whether a Boolean refinement holds under a concrete environment."""
+    result = eval_term(refinement, env)
+    if not isinstance(result, bool):
+        raise RefinementEvalError(f"refinement {refinement} did not evaluate to a Boolean")
+    return result
+
+
+def potential_value(potential: Term, env: Mapping[str, Value]) -> int:
+    """Evaluate a potential annotation to a concrete (non-negative) number."""
+    result = eval_term(potential, env)
+    if isinstance(result, bool):
+        return int(result)
+    if not isinstance(result, int):
+        raise RefinementEvalError(f"potential {potential} did not evaluate to an integer")
+    return result

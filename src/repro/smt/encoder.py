@@ -1,0 +1,521 @@
+"""Encoding of refinement-logic formulas into SAT + linear integer arithmetic.
+
+The paper discharges validity and CEGIS queries with Z3 (Sec. 2.1, 4.2, 4.3).
+This module implements the corresponding reduction for the Re2 fragment:
+
+* numeric ``Ite`` terms are lifted out of atoms,
+* equalities between data-sorted terms are interpreted as equality of all
+  measures occurring in the query (the standard liquid-types treatment of
+  algebraic values),
+* set atoms (equality, subset, membership, bounded quantification) are
+  *grounded* over the finite universe of element terms occurring in the query,
+  with Skolem constants for negative occurrences — the classical reduction of
+  the array/set property fragment to quantifier-free reasoning,
+* measure applications are flattened into opaque integer variables, with
+  congruence axioms instantiated explicitly (exactly the strategy described in
+  Sec. 4.3 of the paper), and
+* the resulting propositional structure is Tseitin-encoded into CNF whose
+  theory atoms are linear constraints ``expr <= 0``.
+
+The output of :func:`encode` feeds the lazy DPLL(T) loop in
+:mod:`repro.smt.solver`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic import terms as t
+from repro.logic.simplify import simplify
+from repro.logic.sorts import BOOL, DATA, INT, SET, Sort
+from repro.logic.terms import Term
+from repro.smt.linexpr import LinExpr
+from repro.smt.sat import CNF
+
+
+class EncodingError(Exception):
+    """Raised when a query falls outside the supported (linear) fragment."""
+
+
+#: Name of the synthetic membership predicate produced by set grounding.
+MEMBER_FUNC = "__mem"
+
+#: Unary measures equated when two data-sorted terms are asserted equal.
+_UNARY_DATA_MEASURES = ("len", "elems", "selems", "size", "telems", "sumlen", "numuniq")
+
+
+@dataclass
+class Encoding:
+    """The result of encoding a formula."""
+
+    cnf: CNF
+    #: SAT variable -> linear atom (meaning ``expr <= 0`` when true).
+    linear_atoms: Dict[int, LinExpr] = field(default_factory=dict)
+    #: SAT variable -> opaque Boolean atom (measure application, Boolean var, ...).
+    bool_atoms: Dict[int, Term] = field(default_factory=dict)
+    #: trivially-true/false formulas short-circuit the solver.
+    trivial: Optional[bool] = None
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+
+def encode(formula: Term) -> Encoding:
+    """Encode a Boolean-sorted refinement term for satisfiability checking."""
+    formula = simplify(formula)
+    if isinstance(formula, t.BoolConst):
+        return Encoding(CNF(), trivial=formula.value)
+
+    fresh = _FreshNames()
+    formula = _eliminate_ite(formula)
+    formula = _expand_data_equalities(formula)
+    formula = _nnf(formula, positive=True)
+    formula = _ground_sets(formula, fresh)
+    formula = simplify(formula)
+    if isinstance(formula, t.BoolConst):
+        return Encoding(CNF(), trivial=formula.value)
+
+    builder = _CnfBuilder()
+    root = builder.literal_for(formula)
+    builder.cnf.add_clause((root,))
+    return Encoding(builder.cnf, builder.linear_atoms, builder.bool_atoms)
+
+
+class _FreshNames:
+    """Generator of fresh Skolem variable names."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def fresh(self, prefix: str) -> str:
+        return f"{prefix}%{next(self._counter)}"
+
+
+# ---------------------------------------------------------------------------
+# Step 1: Ite elimination
+# ---------------------------------------------------------------------------
+
+
+def _eliminate_ite(term: Term) -> Term:
+    """Remove ``Ite`` nodes by case-splitting the enclosing atom."""
+    if isinstance(term, t.Ite) and term.sort == BOOL:
+        return _eliminate_ite(
+            t.disj(
+                t.conj(term.cond, term.then_branch),
+                t.conj(t.neg(term.cond), term.else_branch),
+            )
+        )
+    if isinstance(term, (t.And, t.Or)):
+        rebuilt = t._rebuild(term, tuple(_eliminate_ite(a) for a in term.children()))
+        return rebuilt
+    if isinstance(term, (t.Not, t.Implies, t.Iff)):
+        return t._rebuild(term, tuple(_eliminate_ite(a) for a in term.children()))
+    if isinstance(term, t.SetAll):
+        return t.SetAll(term.var, _eliminate_ite_numeric(term.set_term), _eliminate_ite(term.body))
+    # ``term`` is an atom; lift any numeric Ite occurring inside it.
+    ite = _find_numeric_ite(term)
+    if ite is None:
+        return term
+    then_atom = _replace(term, ite, ite.then_branch)
+    else_atom = _replace(term, ite, ite.else_branch)
+    split = t.disj(
+        t.conj(ite.cond, then_atom),
+        t.conj(t.neg(ite.cond), else_atom),
+    )
+    return _eliminate_ite(split)
+
+
+def _eliminate_ite_numeric(term: Term) -> Term:
+    """Ite elimination for non-Boolean positions (sets): only recurse."""
+    children = term.children()
+    if not children:
+        return term
+    return t._rebuild(term, tuple(_eliminate_ite_numeric(c) for c in children))
+
+
+def _find_numeric_ite(term: Term) -> Optional[t.Ite]:
+    for sub in term.walk():
+        if isinstance(sub, t.Ite) and sub.sort != BOOL:
+            return sub
+    return None
+
+
+def _replace(term: Term, target: Term, replacement: Term) -> Term:
+    if term == target:
+        return replacement
+    children = term.children()
+    if not children:
+        return term
+    new_children = tuple(_replace(c, target, replacement) for c in children)
+    if isinstance(term, t.SetAll):
+        return t.SetAll(term.var, new_children[0], new_children[1])
+    return t._rebuild(term, new_children)
+
+
+# ---------------------------------------------------------------------------
+# Step 2: data equalities
+# ---------------------------------------------------------------------------
+
+
+def _term_sort(term: Term) -> Sort:
+    return term.sort
+
+
+def _expand_data_equalities(formula: Term) -> Term:
+    """Interpret ``l == r`` between data-sorted terms as measure equality."""
+    apps = t.apps_in(formula)
+
+    def expand(term: Term) -> Term:
+        if isinstance(term, t.Eq) and _term_sort(term.left) == DATA and _term_sort(term.right) == DATA:
+            return _measure_equalities(term.left, term.right, apps)
+        children = term.children()
+        if not children:
+            return term
+        new_children = tuple(expand(c) for c in children)
+        if isinstance(term, t.SetAll):
+            return t.SetAll(term.var, new_children[0], new_children[1])
+        return t._rebuild(term, new_children)
+
+    return expand(formula)
+
+
+def _measure_equalities(left: Term, right: Term, apps: frozenset[t.App]) -> Term:
+    clauses: List[Term] = []
+    unary_present = {a.func for a in apps if len(a.args) == 1} & set(_UNARY_DATA_MEASURES)
+    if not unary_present:
+        unary_present = {"len", "elems"}
+    for func in sorted(unary_present):
+        sort = SET if func in ("elems", "selems", "telems") else INT
+        clauses.append(t.Eq(t.App(func, (left,), sort), t.App(func, (right,), sort)))
+    # Binary measures (e.g. numgt): equate applications whose data argument is
+    # one of the two sides, at the same first argument.
+    for app in apps:
+        if len(app.args) == 2 and app.args[1] in (left, right):
+            clauses.append(
+                t.Eq(t.App(app.func, (app.args[0], left), app.sort), t.App(app.func, (app.args[0], right), app.sort))
+            )
+    return t.conj(*clauses)
+
+
+# ---------------------------------------------------------------------------
+# Step 3: negation normal form
+# ---------------------------------------------------------------------------
+
+
+def _nnf(term: Term, positive: bool) -> Term:
+    if isinstance(term, t.Not):
+        return _nnf(term.arg, not positive)
+    if isinstance(term, t.And):
+        parts = tuple(_nnf(a, positive) for a in term.args)
+        return t.conj(*parts) if positive else t.disj(*parts)
+    if isinstance(term, t.Or):
+        parts = tuple(_nnf(a, positive) for a in term.args)
+        return t.disj(*parts) if positive else t.conj(*parts)
+    if isinstance(term, t.Implies):
+        if positive:
+            return t.disj(_nnf(term.antecedent, False), _nnf(term.consequent, True))
+        return t.conj(_nnf(term.antecedent, True), _nnf(term.consequent, False))
+    if isinstance(term, t.Iff):
+        both = t.conj(
+            t.disj(_nnf(term.left, False), _nnf(term.right, True)),
+            t.disj(_nnf(term.right, False), _nnf(term.left, True)),
+        )
+        if positive:
+            return both
+        return t.disj(
+            t.conj(_nnf(term.left, True), _nnf(term.right, False)),
+            t.conj(_nnf(term.right, True), _nnf(term.left, False)),
+        )
+    if isinstance(term, t.BoolConst):
+        return term if positive else t.BoolConst(not term.value)
+    # Atom.
+    return term if positive else t.Not(term)
+
+
+# ---------------------------------------------------------------------------
+# Step 4: set grounding
+# ---------------------------------------------------------------------------
+
+
+def _is_set_sorted(term: Term) -> bool:
+    return term.sort == SET
+
+
+def _ground_sets(formula: Term, fresh: _FreshNames) -> Term:
+    """Ground set reasoning over the finite universe of element terms."""
+    if not _mentions_sets(formula):
+        return formula
+
+    elements = _collect_element_terms(formula)
+    skolems: List[Term] = []
+    _assign_skolems(formula, positive=True, fresh=fresh, out=skolems)
+    universe: List[Term] = list(dict.fromkeys(elements + skolems))
+    skolem_iter = iter(skolems)
+    grounded = _ground(formula, positive=True, universe=universe, skolems=skolem_iter)
+    axioms = _element_congruence_axioms(grounded, universe)
+    return t.conj(grounded, *axioms)
+
+
+def _mentions_sets(formula: Term) -> bool:
+    return any(
+        isinstance(sub, (t.SetMember, t.SetSubset, t.SetAll, t.EmptySet, t.SetSingleton, t.SetUnion, t.SetIntersect, t.SetDiff))
+        or (isinstance(sub, t.Eq) and _is_set_sorted(sub.left))
+        for sub in formula.walk()
+    )
+
+
+def _collect_element_terms(formula: Term) -> List[Term]:
+    result: List[Term] = []
+    for sub in formula.walk():
+        if isinstance(sub, t.SetSingleton):
+            result.append(sub.elem)
+        elif isinstance(sub, t.SetMember):
+            result.append(sub.elem)
+    return list(dict.fromkeys(result))
+
+
+def _is_negative_set_atom(term: Term) -> bool:
+    return isinstance(term, (t.SetSubset, t.SetAll)) or (
+        isinstance(term, t.Eq) and _is_set_sorted(term.left)
+    )
+
+
+def _assign_skolems(term: Term, positive: bool, fresh: _FreshNames, out: List[Term]) -> None:
+    """Pre-pass: create one Skolem element per negative-polarity set atom."""
+    if isinstance(term, t.Not):
+        _assign_skolems(term.arg, not positive, fresh, out)
+        return
+    if isinstance(term, (t.And, t.Or)):
+        for child in term.args:
+            _assign_skolems(child, positive, fresh, out)
+        return
+    if not positive and _is_negative_set_atom(term):
+        out.append(t.Var(fresh.fresh("__skolem"), INT))
+
+
+def _ground(term: Term, positive: bool, universe: List[Term], skolems) -> Term:
+    if isinstance(term, t.Not):
+        return _ground(term.arg, not positive, universe, skolems)
+    if isinstance(term, (t.And, t.Or)):
+        parts = tuple(_ground(child, positive, universe, skolems) for child in term.args)
+        conjunctive = isinstance(term, t.And) if positive else isinstance(term, t.Or)
+        return t.conj(*parts) if conjunctive else t.disj(*parts)
+
+    if isinstance(term, t.Eq) and _is_set_sorted(term.left):
+        if positive:
+            clauses = [
+                t.Iff(_membership(e, term.left), _membership(e, term.right)) for e in universe
+            ]
+            return t.conj(*clauses)
+        witness = next(skolems)
+        return t.neg(t.Iff(_membership(witness, term.left), _membership(witness, term.right)))
+
+    if isinstance(term, t.SetSubset):
+        if positive:
+            clauses = [
+                t.implies(_membership(e, term.left), _membership(e, term.right)) for e in universe
+            ]
+            return t.conj(*clauses)
+        witness = next(skolems)
+        return t.conj(_membership(witness, term.left), t.neg(_membership(witness, term.right)))
+
+    if isinstance(term, t.SetAll):
+        if positive:
+            clauses = [
+                t.implies(_membership(e, term.set_term), t.substitute(term.body, {term.var: e}))
+                for e in universe
+            ]
+            return t.conj(*clauses)
+        witness = next(skolems)
+        return t.conj(
+            _membership(witness, term.set_term),
+            t.neg(t.substitute(term.body, {term.var: witness})),
+        )
+
+    if isinstance(term, t.SetMember):
+        expanded = _membership(term.elem, term.set_term)
+        return expanded if positive else t.neg(expanded)
+
+    # Ordinary atom: restore polarity.
+    return term if positive else t.neg(term)
+
+
+def _membership(elem: Term, set_term: Term) -> Term:
+    """Expand ``elem ∈ set_term`` structurally down to base sets."""
+    if isinstance(set_term, t.EmptySet):
+        return t.FALSE
+    if isinstance(set_term, t.SetSingleton):
+        return t.Eq(elem, set_term.elem)
+    if isinstance(set_term, t.SetUnion):
+        return t.disj(_membership(elem, set_term.left), _membership(elem, set_term.right))
+    if isinstance(set_term, t.SetIntersect):
+        return t.conj(_membership(elem, set_term.left), _membership(elem, set_term.right))
+    if isinstance(set_term, t.SetDiff):
+        return t.conj(_membership(elem, set_term.left), t.neg(_membership(elem, set_term.right)))
+    if isinstance(set_term, t.Ite):
+        return t.disj(
+            t.conj(set_term.cond, _membership(elem, set_term.then_branch)),
+            t.conj(t.neg(set_term.cond), _membership(elem, set_term.else_branch)),
+        )
+    # Base set: a measure application or a set variable.
+    return t.App(MEMBER_FUNC, (elem, set_term), BOOL)
+
+
+def _element_congruence_axioms(grounded: Term, universe: List[Term]) -> List[Term]:
+    """``e1 = e2 ==> (e1 ∈ S <=> e2 ∈ S)`` for base sets S in the query."""
+    base_sets = list(
+        dict.fromkeys(
+            sub.args[1] for sub in grounded.walk() if isinstance(sub, t.App) and sub.func == MEMBER_FUNC
+        )
+    )
+    axioms: List[Term] = []
+    for e1, e2 in itertools.combinations(universe, 2):
+        for base in base_sets:
+            axioms.append(
+                t.implies(
+                    t.Eq(e1, e2),
+                    t.Iff(t.App(MEMBER_FUNC, (e1, base), BOOL), t.App(MEMBER_FUNC, (e2, base), BOOL)),
+                )
+            )
+    return axioms
+
+
+# ---------------------------------------------------------------------------
+# Step 5: Tseitin CNF with theory atoms
+# ---------------------------------------------------------------------------
+
+
+class _CnfBuilder:
+    """Tseitin transformation; atoms become SAT variables."""
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        self.linear_atoms: Dict[int, LinExpr] = {}
+        self.bool_atoms: Dict[int, Term] = {}
+        self._atom_cache: Dict[object, int] = {}
+        self._node_cache: Dict[Term, int] = {}
+
+    # -- atoms ------------------------------------------------------------
+    def _linear_atom_var(self, expr: LinExpr) -> int:
+        key = ("lin", expr.coeffs, expr.constant)
+        if key not in self._atom_cache:
+            var = self.cnf.new_var()
+            self._atom_cache[key] = var
+            self.linear_atoms[var] = expr
+        return self._atom_cache[key]
+
+    def _bool_atom_var(self, atom: Term) -> int:
+        key = ("bool", atom)
+        if key not in self._atom_cache:
+            var = self.cnf.new_var()
+            self._atom_cache[key] = var
+            self.bool_atoms[var] = atom
+        return self._atom_cache[key]
+
+    # -- formula structure --------------------------------------------------
+    def literal_for(self, term: Term) -> int:
+        if term in self._node_cache:
+            return self._node_cache[term]
+        literal = self._build(term)
+        self._node_cache[term] = literal
+        return literal
+
+    def _build(self, term: Term) -> int:
+        if isinstance(term, t.BoolConst):
+            var = self.cnf.new_var()
+            self.cnf.add_clause((var,) if term.value else (-var,))
+            return var
+        if isinstance(term, t.Not):
+            return -self.literal_for(term.arg)
+        if isinstance(term, t.And):
+            return self._gate([self.literal_for(a) for a in term.args], is_and=True)
+        if isinstance(term, t.Or):
+            return self._gate([self.literal_for(a) for a in term.args], is_and=False)
+        if isinstance(term, t.Implies):
+            return self._gate(
+                [-self.literal_for(term.antecedent), self.literal_for(term.consequent)], is_and=False
+            )
+        if isinstance(term, t.Iff):
+            a = self.literal_for(term.left)
+            b = self.literal_for(term.right)
+            both = self._gate([a, b], is_and=True)
+            neither = self._gate([-a, -b], is_and=True)
+            return self._gate([both, neither], is_and=False)
+        return self._atom_literal(term)
+
+    def _gate(self, literals: List[int], is_and: bool) -> int:
+        out = self.cnf.new_var()
+        if is_and:
+            for lit in literals:
+                self.cnf.add_clause((-out, lit))
+            self.cnf.add_clause(tuple(-lit for lit in literals) + (out,))
+        else:
+            for lit in literals:
+                self.cnf.add_clause((-lit, out))
+            self.cnf.add_clause((-out,) + tuple(literals))
+        return out
+
+    def _atom_literal(self, atom: Term) -> int:
+        if isinstance(atom, (t.Le, t.Lt, t.Ge, t.Gt)):
+            expr = self._normalize_comparison(atom)
+            return self._linear_atom_var(expr)
+        if isinstance(atom, t.Eq):
+            left_sort, right_sort = atom.left.sort, atom.right.sort
+            if left_sort == BOOL or right_sort == BOOL:
+                return self.literal_for(t.Iff(atom.left, atom.right))
+            # Numeric equality: conjunction of two inequalities.
+            le = self._linear_atom_var(self._normalize_comparison(t.Le(atom.left, atom.right)))
+            ge = self._linear_atom_var(self._normalize_comparison(t.Ge(atom.left, atom.right)))
+            return self._gate([le, ge], is_and=True)
+        if isinstance(atom, (t.Var, t.App)) and atom.sort == BOOL:
+            return self._bool_atom_var(atom)
+        raise EncodingError(f"unsupported atom in SMT encoding: {atom}")
+
+    def _normalize_comparison(self, atom: Term) -> LinExpr:
+        """Normalize a comparison to the form ``expr <= 0`` over the integers."""
+        left = linearize(atom.left)
+        right = linearize(atom.right)
+        if isinstance(atom, t.Le):
+            return left - right
+        if isinstance(atom, t.Lt):
+            return left - right + LinExpr.const(1)
+        if isinstance(atom, t.Ge):
+            return right - left
+        if isinstance(atom, t.Gt):
+            return right - left + LinExpr.const(1)
+        raise EncodingError(f"not a comparison: {atom}")
+
+
+def linearize(term: Term) -> LinExpr:
+    """Convert a numeric refinement term into a :class:`LinExpr`.
+
+    Variable keys are variable names (strings); measure applications become
+    opaque keys (the application term itself).  Non-linear multiplications are
+    rejected, matching the implementation restriction described in Sec. 4.3.
+    """
+    if isinstance(term, t.IntConst):
+        return LinExpr.const(term.value)
+    if isinstance(term, t.BoolConst):
+        return LinExpr.const(1 if term.value else 0)
+    if isinstance(term, t.Var):
+        return LinExpr.var(term.name)
+    if isinstance(term, t.App):
+        return LinExpr.var(term)
+    if isinstance(term, t.Add):
+        return linearize(term.left) + linearize(term.right)
+    if isinstance(term, t.Sub):
+        return linearize(term.left) - linearize(term.right)
+    if isinstance(term, t.Mul):
+        left = linearize(term.left)
+        right = linearize(term.right)
+        if left.is_constant():
+            return right * left.constant
+        if right.is_constant():
+            return left * right.constant
+        raise EncodingError(f"non-linear multiplication: {term}")
+    raise EncodingError(f"cannot linearize term: {term}")

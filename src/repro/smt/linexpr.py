@@ -1,0 +1,154 @@
+"""Linear expressions over named variables with exact rational coefficients.
+
+This is the shared currency of the LIA decision procedure
+(:mod:`repro.smt.lia`), the SMT encoder and the resource-constraint solver:
+an affine expression ``c0 + c1*x1 + ... + cn*xn`` represented as a mapping
+from variable keys to :class:`fractions.Fraction` coefficients plus a constant.
+
+Variable keys are ordinarily strings (program variable names), but any
+hashable key is accepted; the SMT encoder uses refinement-term keys for
+flattened measure applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, Mapping, Tuple
+
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """An affine expression ``constant + sum(coeffs[k] * k)``."""
+
+    coeffs: Tuple[Tuple[Key, Fraction], ...] = ()
+    constant: Fraction = Fraction(0)
+
+    @staticmethod
+    def from_dict(coeffs: Mapping[Key, Fraction | int], constant: Fraction | int = 0) -> "LinExpr":
+        """Build a normalized expression, dropping zero coefficients."""
+        items = tuple(
+            sorted(
+                ((k, Fraction(v)) for k, v in coeffs.items() if Fraction(v) != 0),
+                key=lambda kv: repr(kv[0]),
+            )
+        )
+        return LinExpr(items, Fraction(constant))
+
+    @staticmethod
+    def const(value: Fraction | int) -> "LinExpr":
+        return LinExpr((), Fraction(value))
+
+    @staticmethod
+    def var(key: Key, coeff: Fraction | int = 1) -> "LinExpr":
+        coeff = Fraction(coeff)
+        if coeff == 0:
+            return LinExpr()
+        return LinExpr(((key, coeff),), Fraction(0))
+
+    def as_dict(self) -> Dict[Key, Fraction]:
+        return dict(self.coeffs)
+
+    @property
+    def variables(self) -> Tuple[Key, ...]:
+        return tuple(k for k, _ in self.coeffs)
+
+    def coefficient(self, key: Key) -> Fraction:
+        for k, v in self.coeffs:
+            if k == key:
+                return v
+        return Fraction(0)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
+        other = _coerce(other)
+        merged = self.as_dict()
+        for k, v in other.coeffs:
+            merged[k] = merged.get(k, Fraction(0)) + v
+        return LinExpr.from_dict(merged, self.constant + other.constant)
+
+    def __sub__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
+        return self + (_coerce(other) * -1)
+
+    def __mul__(self, scalar: int | Fraction) -> "LinExpr":
+        scalar = Fraction(scalar)
+        if scalar == 0:
+            return LinExpr()
+        return LinExpr(
+            tuple((k, v * scalar) for k, v in self.coeffs),
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1
+
+    def substitute(self, assignment: Mapping[Key, Fraction | int]) -> "LinExpr":
+        """Replace some variables by concrete values."""
+        remaining: Dict[Key, Fraction] = {}
+        constant = self.constant
+        for k, v in self.coeffs:
+            if k in assignment:
+                constant += v * Fraction(assignment[k])
+            else:
+                remaining[k] = remaining.get(k, Fraction(0)) + v
+        return LinExpr.from_dict(remaining, constant)
+
+    def evaluate(self, assignment: Mapping[Key, Fraction | int]) -> Fraction:
+        """Evaluate under a total assignment (missing variables default to 0)."""
+        total = self.constant
+        for k, v in self.coeffs:
+            total += v * Fraction(assignment.get(k, 0))
+        return total
+
+    def rename(self, mapping: Mapping[Key, Key]) -> "LinExpr":
+        """Rename variable keys."""
+        merged: Dict[Key, Fraction] = {}
+        for k, v in self.coeffs:
+            new_key = mapping.get(k, k)
+            merged[new_key] = merged.get(new_key, Fraction(0)) + v
+        return LinExpr.from_dict(merged, self.constant)
+
+    def __str__(self) -> str:
+        parts = []
+        for k, v in self.coeffs:
+            if v == 1:
+                parts.append(f"{k}")
+            elif v == -1:
+                parts.append(f"-{k}")
+            else:
+                parts.append(f"{v}*{k}")
+        if self.constant != 0 or not parts:
+            parts.append(str(self.constant))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def _coerce(value: "LinExpr | int | Fraction") -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr.const(value)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """The constraint ``expr <= 0`` (the only relation the LIA core needs).
+
+    Equalities are represented as two opposite constraints and strict
+    inequalities over the integers are converted to non-strict ones by the
+    encoder (``a < b`` becomes ``a - b + 1 <= 0``).
+    """
+
+    expr: LinExpr
+
+    def holds(self, assignment: Mapping[Key, Fraction | int]) -> bool:
+        return self.expr.evaluate(assignment) <= 0
+
+    def __str__(self) -> str:
+        return f"{self.expr} <= 0"

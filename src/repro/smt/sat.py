@@ -1,0 +1,169 @@
+"""A small propositional SAT solver (DPLL with unit propagation).
+
+The Boolean skeletons produced by the Re2 validity checker are small (tens of
+variables and clauses), so a straightforward DPLL procedure with unit
+propagation, pure-literal elimination and clause-learning-free backtracking is
+entirely sufficient.  The solver exposes an iterator over models so that the
+lazy DPLL(T) loop in :mod:`repro.smt.solver` can enumerate Boolean assignments
+and block theory-inconsistent ones.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative literal ``-v`` denotes the negation of variable ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+Clause = Tuple[int, ...]
+
+
+class Unsatisfiable(Exception):
+    """Raised internally when propagation derives a conflict."""
+
+
+@dataclass
+class CNF:
+    """A CNF formula with a mutable clause database."""
+
+    num_vars: int = 0
+    clauses: List[Clause] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(dict.fromkeys(literals))  # dedupe, keep order
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        for lit in clause:
+            if abs(lit) > self.num_vars:
+                self.num_vars = abs(lit)
+        self.clauses.append(clause)
+
+    def copy(self) -> "CNF":
+        return CNF(self.num_vars, list(self.clauses))
+
+
+def solve(cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+    """Return a satisfying assignment (as ``var -> bool``) or ``None``."""
+    assignment: Dict[int, bool] = {}
+    try:
+        for literal in assumptions:
+            _assign(assignment, literal)
+    except Unsatisfiable:
+        return None
+    result = _dpll(list(cnf.clauses), assignment, cnf.num_vars)
+    if result is None:
+        return None
+    # Default unconstrained variables to False for a total assignment.
+    for var in range(1, cnf.num_vars + 1):
+        result.setdefault(var, False)
+    return result
+
+
+def iter_models(cnf: CNF, blocking_vars: Optional[Sequence[int]] = None) -> Iterator[Dict[int, bool]]:
+    """Enumerate models, blocking each one on ``blocking_vars`` (default: all)."""
+    working = cnf.copy()
+    while True:
+        model = solve(working)
+        if model is None:
+            return
+        yield model
+        keys = blocking_vars if blocking_vars is not None else list(model.keys())
+        blocking = tuple(-var if model[var] else var for var in keys)
+        if not blocking:
+            return
+        working.add_clause(blocking)
+
+
+# ---------------------------------------------------------------------------
+# DPLL core
+# ---------------------------------------------------------------------------
+
+
+def _assign(assignment: Dict[int, bool], literal: int) -> None:
+    var = abs(literal)
+    value = literal > 0
+    if var in assignment:
+        if assignment[var] != value:
+            raise Unsatisfiable()
+        return
+    assignment[var] = value
+
+
+def _literal_value(assignment: Dict[int, bool], literal: int) -> Optional[bool]:
+    var = abs(literal)
+    if var not in assignment:
+        return None
+    value = assignment[var]
+    return value if literal > 0 else not value
+
+
+def _propagate(clauses: List[Clause], assignment: Dict[int, bool]) -> Optional[List[Clause]]:
+    """Unit propagation; returns the simplified clause list or None on conflict."""
+    changed = True
+    current = clauses
+    while changed:
+        changed = False
+        simplified: List[Clause] = []
+        for clause in current:
+            unassigned: List[int] = []
+            satisfied = False
+            for literal in clause:
+                value = _literal_value(assignment, literal)
+                if value is True:
+                    satisfied = True
+                    break
+                if value is None:
+                    unassigned.append(literal)
+            if satisfied:
+                continue
+            if not unassigned:
+                return None  # conflict
+            if len(unassigned) == 1:
+                try:
+                    _assign(assignment, unassigned[0])
+                except Unsatisfiable:
+                    return None
+                changed = True
+                continue
+            simplified.append(tuple(unassigned))
+        current = simplified
+    return current
+
+
+def _choose_literal(clauses: List[Clause]) -> int:
+    """Pick the literal with the highest occurrence count (a MOMS-like heuristic)."""
+    counts: Dict[int, int] = {}
+    best_clause = min(clauses, key=len)
+    for clause in clauses:
+        weight = 4 if len(clause) == len(best_clause) else 1
+        for literal in clause:
+            counts[literal] = counts.get(literal, 0) + weight
+    return max(counts, key=counts.get)  # type: ignore[arg-type]
+
+
+def _dpll(
+    clauses: List[Clause], assignment: Dict[int, bool], num_vars: int
+) -> Optional[Dict[int, bool]]:
+    local = dict(assignment)
+    simplified = _propagate(clauses, local)
+    if simplified is None:
+        return None
+    if not simplified:
+        return local
+    literal = _choose_literal(simplified)
+    for choice in (literal, -literal):
+        branch = dict(local)
+        try:
+            _assign(branch, choice)
+        except Unsatisfiable:
+            continue
+        result = _dpll(simplified, branch, num_vars)
+        if result is not None:
+            return result
+    return None

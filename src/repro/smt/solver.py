@@ -1,0 +1,192 @@
+"""Lazy DPLL(T) solver for the Re2 refinement logic.
+
+This is the component that stands in for Z3 in the paper's tool chain: the
+type checker, the Horn solver and the CEGIS loop all discharge their queries
+through :func:`check_sat` / :func:`check_valid`.
+
+The solver enumerates Boolean models of the Tseitin skeleton produced by
+:mod:`repro.smt.encoder` and checks each model's asserted linear atoms for
+integer feasibility with :mod:`repro.smt.lia`.  Theory conflicts are turned
+into blocking clauses (with a greedy unsat-core minimization) until either a
+theory-consistent model is found or the skeleton becomes unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic import terms as t
+from repro.logic.terms import Term
+from repro.smt import sat
+from repro.smt.encoder import Encoding, MEMBER_FUNC, encode
+from repro.smt.lia import BudgetExceeded, check_integer_feasible
+from repro.smt.linexpr import Constraint, LinExpr
+
+
+class SolverError(Exception):
+    """Raised when a query exceeds the solver's resource budget."""
+
+
+@dataclass
+class Model:
+    """A satisfying assignment for a refinement formula.
+
+    ``ints`` maps variable names and flattened measure applications to integer
+    values; ``bools`` maps opaque Boolean atoms (including grounded membership
+    atoms) to truth values.
+    """
+
+    ints: Dict[object, int] = field(default_factory=dict)
+    bools: Dict[Term, bool] = field(default_factory=dict)
+
+    def value(self, name: str, default: int = 0) -> int:
+        """The integer value of a named variable (0 if unconstrained)."""
+        return int(self.ints.get(name, default))
+
+    def named_values(self) -> Dict[str, int]:
+        """Only the string-named integer variables of the model."""
+        return {k: v for k, v in self.ints.items() if isinstance(k, str)}
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in sorted(self.named_values().items())]
+        return "{" + ", ".join(parts) + "}"
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for the evaluation harness."""
+
+    sat_queries: int = 0
+    validity_queries: int = 0
+    theory_checks: int = 0
+    theory_conflicts: int = 0
+
+
+class Solver:
+    """Satisfiability and validity checking for refinement formulas."""
+
+    def __init__(self, max_theory_iterations: int = 2000) -> None:
+        self.max_theory_iterations = max_theory_iterations
+        self.stats = SolverStats()
+        self._valid_cache: Dict[Term, bool] = {}
+
+    # -- public API -------------------------------------------------------
+    def check_sat(self, formula: Term) -> Optional[Model]:
+        """Return a model of ``formula`` or ``None`` when unsatisfiable."""
+        self.stats.sat_queries += 1
+        encoding = encode(formula)
+        if encoding.trivial is not None:
+            return Model() if encoding.trivial else None
+        return self._solve(encoding)
+
+    def check_valid(self, formula: Term) -> bool:
+        """Whether ``formula`` holds in all models (validity checking, App. B)."""
+        if formula in self._valid_cache:
+            return self._valid_cache[formula]
+        self.stats.validity_queries += 1
+        result = self.check_sat(t.neg(formula)) is None
+        self._valid_cache[formula] = result
+        return result
+
+    def check_implication(self, antecedent: Term, consequent: Term) -> bool:
+        """Validity of ``antecedent ==> consequent``."""
+        return self.check_valid(t.implies(antecedent, consequent))
+
+    # -- DPLL(T) loop -------------------------------------------------------
+    def _solve(self, encoding: Encoding) -> Optional[Model]:
+        cnf = encoding.cnf
+        for _ in range(self.max_theory_iterations):
+            assignment = sat.solve(cnf)
+            if assignment is None:
+                return None
+            literals = self._theory_literals(encoding, assignment)
+            self.stats.theory_checks += 1
+            constraints = [Constraint(expr) for _, expr in literals]
+            try:
+                result = check_integer_feasible(constraints)
+            except BudgetExceeded as exc:
+                raise SolverError(str(exc)) from exc
+            if result.satisfiable:
+                return self._build_model(encoding, assignment, result.model or {})
+            self.stats.theory_conflicts += 1
+            core = self._minimize_core(literals)
+            cnf.add_clause(tuple(-var if positive else var for (var, positive), _ in core))
+        raise SolverError("exceeded theory iteration budget")
+
+    def _theory_literals(
+        self, encoding: Encoding, assignment: Dict[int, bool]
+    ) -> List[Tuple[Tuple[int, bool], LinExpr]]:
+        """Linear constraints asserted by a Boolean assignment.
+
+        A positive linear atom ``expr <= 0`` contributes ``expr <= 0``;
+        a negated one contributes ``-expr + 1 <= 0`` (i.e. ``expr >= 1``),
+        which is the exact negation over the integers.
+        """
+        literals: List[Tuple[Tuple[int, bool], LinExpr]] = []
+        for var, expr in encoding.linear_atoms.items():
+            value = assignment.get(var)
+            if value is None:
+                continue
+            if value:
+                literals.append(((var, True), expr))
+            else:
+                literals.append(((var, False), (-expr) + LinExpr.const(1)))
+        return literals
+
+    def _minimize_core(
+        self, literals: List[Tuple[Tuple[int, bool], LinExpr]]
+    ) -> List[Tuple[Tuple[int, bool], LinExpr]]:
+        """Greedy unsat-core minimization to learn stronger blocking clauses."""
+        core = list(literals)
+        if len(core) > 24:
+            return core
+        index = 0
+        while index < len(core):
+            candidate = core[:index] + core[index + 1 :]
+            constraints = [Constraint(expr) for _, expr in candidate]
+            try:
+                result = check_integer_feasible(constraints)
+            except BudgetExceeded:
+                return core
+            if result.satisfiable:
+                index += 1
+            else:
+                core = candidate
+        return core
+
+    def _build_model(
+        self,
+        encoding: Encoding,
+        assignment: Dict[int, bool],
+        int_model: Dict[object, int],
+    ) -> Model:
+        model = Model()
+        model.ints.update(int_model)
+        for var, atom in encoding.bool_atoms.items():
+            model.bools[atom] = assignment.get(var, False)
+        return model
+
+
+#: A module-level default solver, shared by code that does not need
+#: per-instance statistics.
+_DEFAULT_SOLVER: Optional[Solver] = None
+
+
+def default_solver() -> Solver:
+    """The shared solver instance."""
+    global _DEFAULT_SOLVER
+    if _DEFAULT_SOLVER is None:
+        _DEFAULT_SOLVER = Solver()
+    return _DEFAULT_SOLVER
+
+
+def check_sat(formula: Term) -> Optional[Model]:
+    """Module-level convenience wrapper around :meth:`Solver.check_sat`."""
+    return default_solver().check_sat(formula)
+
+
+def check_valid(formula: Term) -> bool:
+    """Module-level convenience wrapper around :meth:`Solver.check_valid`."""
+    return default_solver().check_valid(formula)

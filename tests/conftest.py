@@ -1,0 +1,37 @@
+"""Shared pytest configuration for the reproduction's test suite."""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Synthesis-backed property tests re-run the (deterministic, cached) synthesizer
+# inside Hypothesis; suppress the corresponding health checks globally.
+settings.register_profile(
+    "repro",
+    suppress_health_check=(HealthCheck.function_scoped_fixture, HealthCheck.too_slow),
+    deadline=None,
+)
+settings.load_profile("repro")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run the slow synthesis benchmarks (common, diff, insert, ...)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: slow end-to-end synthesis tests")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow") or os.environ.get("REPRO_FULL"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow synthesis test; use --run-slow or REPRO_FULL=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

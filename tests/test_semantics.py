@@ -1,0 +1,186 @@
+"""Tests for the cost semantics: interpreter, cost accounting, refinements."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import syntax as s
+from repro.semantics.interpreter import CostModel, EvaluationError, Interpreter, evaluate
+from repro.semantics.refinements import RefinementEvalError, eval_measure, eval_term, holds, potential_value
+from repro.semantics.values import Builtin, Closure, LEAF, VTree, list_to_value, tree_from_sorted
+from repro.logic import terms as t
+
+
+def make_append():
+    """A hand-written append program used across several tests."""
+    body = s.MatchList(
+        s.Var("xs"),
+        s.Var("ys"),
+        "h",
+        "t",
+        s.Cons(s.Var("h"), s.App("app", (s.Var("t"), s.Var("ys")))),
+    )
+    return s.Fix("app", ("xs", "ys"), body)
+
+
+class TestInterpreter:
+    def test_literals_and_constructors(self):
+        assert evaluate(s.IntLit(5)).value == 5
+        assert evaluate(s.BoolLit(True)).value is True
+        assert evaluate(s.Nil()).value == ()
+        assert evaluate(s.Cons(s.IntLit(1), s.Nil())).value == (1,)
+        tree = evaluate(s.Node(s.Leaf(), s.IntLit(3), s.Leaf())).value
+        assert isinstance(tree, VTree) and tree.value == 3
+
+    def test_let_and_if(self):
+        expr = s.Let("x", s.IntLit(2), s.If(s.BoolLit(True), s.Var("x"), s.IntLit(0)))
+        assert evaluate(expr).value == 2
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(s.Var("nope"))
+
+    def test_impossible_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(s.Impossible())
+
+    def test_match_list(self):
+        expr = s.MatchList(s.Var("l"), s.IntLit(0), "h", "t", s.Var("h"))
+        assert evaluate(expr, {"l": (7, 8)}).value == 7
+        assert evaluate(expr, {"l": ()}).value == 0
+
+    def test_match_tree(self):
+        expr = s.MatchTree(s.Var("t"), s.IntLit(0), "l", "v", "r", s.Var("v"))
+        assert evaluate(expr, {"t": VTree(LEAF, 9, LEAF)}).value == 9
+        assert evaluate(expr, {"t": LEAF}).value == 0
+
+    def test_recursive_function(self):
+        program = make_append()
+        interp = Interpreter()
+        closure = interp.run(program).value
+        result = interp.call(closure, (1, 2), (3,))
+        assert result.value == (1, 2, 3)
+
+    def test_recursion_cost_counts_calls(self):
+        program = make_append()
+        interp = Interpreter()
+        closure = interp.run(program).value
+        result = interp.call(closure, (1, 2, 3, 4), (9,))
+        # One recursive call per element of the first list.
+        assert result.cost == 4
+
+    def test_tick_costs(self):
+        expr = s.Tick(3, s.Tick(-1, s.IntLit(0)))
+        result = evaluate(expr)
+        assert result.cost == 2
+        assert result.high_water == 3
+
+    def test_builtin_cost_model(self):
+        member = Builtin("member", 2, lambda x, l: x in l, cost=lambda x, l: len(l))
+        expr = s.App("member", (s.IntLit(1), s.Var("l")))
+        result = evaluate(expr, {"l": (5, 6, 7), "member": member})
+        assert result.value is False
+        assert result.cost == 3
+
+    def test_builtin_cost_can_be_disabled(self):
+        member = Builtin("member", 2, lambda x, l: x in l, cost=lambda x, l: len(l))
+        model = CostModel(count_builtin_internal=False)
+        expr = s.App("member", (s.IntLit(1), s.Var("l")))
+        assert evaluate(expr, {"l": (5, 6, 7), "member": member}, model).cost == 0
+
+    def test_call_cost_override(self):
+        program = make_append()
+        model = CostModel(call_costs={"app": 0})
+        interp = Interpreter(model)
+        closure = interp.run(program).value
+        assert interp.call(closure, (1, 2), ()).cost == 0
+
+    @given(st.lists(st.integers(-5, 5), max_size=8), st.lists(st.integers(-5, 5), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_append_is_correct_and_linear(self, xs, ys):
+        program = make_append()
+        interp = Interpreter()
+        closure = interp.run(program).value
+        result = interp.call(closure, tuple(xs), tuple(ys))
+        assert result.value == tuple(xs) + tuple(ys)
+        assert result.cost == len(xs)
+
+
+class TestExprHelpers:
+    def test_size(self):
+        program = make_append()
+        assert program.size() == 9
+
+    def test_free_program_vars(self):
+        body = s.App("f", (s.Var("x"), s.Cons(s.Var("y"), s.Nil())))
+        assert s.free_program_vars(body) == {"f", "x", "y"}
+
+    def test_match_binds_variables(self):
+        expr = s.MatchList(s.Var("l"), s.Var("z"), "h", "t", s.Var("h"))
+        assert s.free_program_vars(expr) == {"l", "z"}
+
+    def test_is_atom(self):
+        assert s.is_atom(s.Cons(s.Var("x"), s.Nil()))
+        assert not s.is_atom(s.App("f", (s.Var("x"),)))
+
+    def test_count_recursive_calls(self):
+        program = make_append()
+        assert s.count_recursive_calls(program.body, "app") == 1
+
+
+class TestMeasures:
+    def test_len_and_elems(self):
+        assert eval_measure("len", (1, 2, 3)) == 3
+        assert eval_measure("elems", (1, 2, 2)) == frozenset({1, 2})
+
+    def test_numgt_numlt(self):
+        assert eval_measure("numgt", 2, (1, 2, 3, 4)) == 2
+        assert eval_measure("numlt", 2, (1, 2, 3, 4)) == 1
+
+    def test_tree_measures(self):
+        tree = tree_from_sorted([1, 2, 3])
+        assert eval_measure("size", tree) == 3
+        assert eval_measure("telems", tree) == frozenset({1, 2, 3})
+
+    def test_sumlen(self):
+        assert eval_measure("sumlen", ((1, 2), (3,), ())) == 3
+
+    def test_unknown_measure(self):
+        with pytest.raises(RefinementEvalError):
+            eval_measure("mystery", ())
+
+
+class TestRefinementEvaluation:
+    def test_arithmetic_and_comparison(self):
+        x = t.int_var("x")
+        assert eval_term(x + 2, {"x": 3}) == 5
+        assert holds(x < 10, {"x": 3})
+        assert not holds(x.eq(4), {"x": 3})
+
+    def test_sets(self):
+        xs = t.data_var("xs")
+        env = {"xs": (1, 2, 3), "x": 2}
+        assert holds(t.SetMember(t.int_var("x"), t.elems(xs)), env)
+        assert holds(t.SetSubset(t.SetSingleton(t.int_var("x")), t.elems(xs)), env)
+
+    def test_setall(self):
+        xs = t.data_var("xs")
+        e = t.int_var("e")
+        formula = t.SetAll("e", t.elems(xs), e > 0)
+        assert holds(formula, {"xs": (1, 2, 3)})
+        assert not holds(formula, {"xs": (0, 1)})
+
+    def test_ite_potential(self):
+        x = t.int_var("x")
+        nu = t.int_var("_v")
+        potential = t.Ite(x > nu, t.ONE, t.ZERO)
+        assert potential_value(potential, {"x": 5, "_v": 3}) == 1
+        assert potential_value(potential, {"x": 5, "_v": 7}) == 0
+
+    def test_goal_refinement_of_common(self):
+        """The common-elements spec evaluated on concrete values."""
+        nu = t.data_var("_v")
+        l1, l2 = t.data_var("l1"), t.data_var("l2")
+        spec = t.Eq(t.elems(nu), t.SetIntersect(t.elems(l1), t.elems(l2)))
+        env = {"l1": (1, 2, 3), "l2": (2, 3, 4), "_v": (2, 3)}
+        assert holds(spec, env)
+        assert not holds(spec, {**env, "_v": (2,)})

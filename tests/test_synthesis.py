@@ -1,0 +1,211 @@
+"""End-to-end synthesis tests (the integration layer of the test suite).
+
+These tests exercise the full ReSyn pipeline — goal construction, round-trip
+type checking, resource-guided pruning, CEGIS — on small instances of the
+paper's benchmarks, and cross-validate every synthesized program by running it
+under the cost semantics against the executable form of its specification.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite.definitions import (
+    append_benchmark,
+    compare_benchmark,
+    duplicate_each_benchmark,
+    is_empty_benchmark,
+    length_benchmark,
+    triple_benchmark,
+)
+from repro.core import SynthesisConfig, Synthesizer, synthesize, verify
+from repro.core.components import library
+from repro.core.goals import SynthesisGoal
+from repro.core.synthesizer import with_default_cost
+from repro.lang import syntax as s
+from repro.logic import terms as t
+from repro.semantics.interpreter import Interpreter
+from repro.semantics.refinements import holds
+from repro.typing.types import ArrowType, NU_NAME, TypeSchema, arrow, bool_type, list_type, tvar_type
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def _synthesize_cached(key: str):
+    """Synthesize a fast benchmark once per test session (used by property tests)."""
+    from repro.benchsuite.definitions import benchmark_by_key
+
+    bench = benchmark_by_key(key)
+    return bench, synthesize(bench.goal, bench.configs()["resyn"])
+
+
+def run_program(goal: SynthesisGoal, program: s.Fix, *args):
+    """Evaluate a synthesized program on concrete inputs."""
+    interpreter = Interpreter()
+    env = {name: builtin for name, builtin in goal.component_builtins().items()}
+    closure = interpreter.run(program, env).value
+    return interpreter.call(closure, *args)
+
+
+def spec_holds(goal: SynthesisGoal, args, result_value) -> bool:
+    """Evaluate the goal's result refinement on a concrete input/output pair."""
+    body = with_default_cost(goal.schema).body
+    assert isinstance(body, ArrowType)
+    env = {name: value for (name, _), value in zip(body.params(), args)}
+    env[NU_NAME] = result_value
+    return holds(body.final_result().refinement, env)
+
+
+class TestSynthesisFastBenchmarks:
+    def test_is_empty(self):
+        bench = is_empty_benchmark()
+        result = synthesize(bench.goal, bench.configs()["resyn"])
+        assert result.succeeded
+        assert run_program(bench.goal, result.program, ()).value is True
+        assert run_program(bench.goal, result.program, (1, 2)).value is False
+
+    def test_length(self):
+        bench = length_benchmark()
+        result = synthesize(bench.goal, bench.configs()["resyn"])
+        assert result.succeeded
+        assert run_program(bench.goal, result.program, (4, 5, 6)).value == 3
+
+    def test_append(self):
+        bench = append_benchmark()
+        result = synthesize(bench.goal, bench.configs()["resyn"])
+        assert result.succeeded
+        evaluation = run_program(bench.goal, result.program, (1, 2), (3,))
+        assert evaluation.value == (1, 2, 3)
+        # Linear cost: one recursive call per element of the first list (+ base).
+        assert evaluation.cost <= len((1, 2)) + 1
+
+    def test_triple_uses_efficient_association(self):
+        """Benchmark 1 of Table 2: both calls to append traverse a length-n list."""
+        bench = triple_benchmark(False)
+        result = synthesize(bench.goal, bench.configs()["resyn"])
+        assert result.succeeded
+        xs = (1, 2, 3, 4)
+        evaluation = run_program(bench.goal, result.program, xs)
+        assert evaluation.value == xs * 3
+        # 2n, not 3n: the outer append must traverse the original list.
+        assert evaluation.cost <= 2 * len(xs)
+
+    def test_triple_prime_resource_bound(self):
+        """Benchmark 2: with append', the bound forces the efficient association."""
+        bench = triple_benchmark(True)
+        result = synthesize(bench.goal, bench.configs()["resyn"])
+        assert result.succeeded
+        xs = (5, 6, 7)
+        evaluation = run_program(bench.goal, result.program, xs)
+        assert evaluation.value == xs * 3
+        assert evaluation.cost <= 2 * len(xs)
+
+    def test_constant_time_compare(self):
+        """Benchmarks 15/16: the CT variant's cost depends only on the public list."""
+        bench = compare_benchmark(constant_time=True)
+        config = SynthesisConfig.constant_resource(**bench.config_overrides)
+        result = synthesize(bench.goal, config)
+        assert result.succeeded
+        ys = (1, 2, 3, 4)
+        costs = {
+            run_program(bench.goal, result.program, ys, tuple(range(k))).cost
+            for k in (0, 2, 4, 6)
+        }
+        assert len(costs) == 1, "constant-resource program must not leak |zs|"
+
+    def test_synquid_baseline_equivalent_on_simple_goal(self):
+        bench = append_benchmark()
+        baseline = synthesize(bench.goal, bench.configs()["synquid"])
+        assert baseline.succeeded
+        assert run_program(bench.goal, baseline.program, (1,), (2, 3)).value == (1, 2, 3)
+
+    @given(st.lists(st.integers(0, 20), max_size=7))
+    @settings(max_examples=25, deadline=None)
+    def test_synthesized_length_satisfies_spec(self, xs):
+        bench, result = _synthesize_cached("t1_length")
+        assert result.succeeded
+        value = run_program(bench.goal, result.program, tuple(xs)).value
+        assert spec_holds(bench.goal, (tuple(xs),), value)
+
+    @given(st.lists(st.integers(0, 9), max_size=6), st.lists(st.integers(0, 9), max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_synthesized_append_satisfies_spec(self, xs, ys):
+        bench, result = _synthesize_cached("t1_append")
+        assert result.succeeded
+        value = run_program(bench.goal, result.program, tuple(xs), tuple(ys)).value
+        assert spec_holds(bench.goal, (tuple(xs), tuple(ys)), value)
+
+
+class TestResourceGuidance:
+    def test_resource_bound_rejects_wasteful_duplicate(self):
+        """With only 1 unit per element, duplicating each element twice is rejected."""
+        bench = duplicate_each_benchmark()
+        # The correct program needs two "traversal units" per element in this
+        # encoding (one recursive call plus the second Cons is free), so with
+        # potential 1 the program is still synthesizable; with potential 0 the
+        # recursive call cannot be paid for and synthesis must fail.
+        goal = bench.goal
+        body = goal.schema.body
+        stripped_param = body.params()[0][1].with_elem_potential(t.ZERO)
+        stripped_schema = TypeSchema(
+            goal.schema.tvars,
+            arrow(("xs", stripped_param), body.final_result(), cost=1),
+        )
+        stripped_goal = SynthesisGoal.create(goal.name, stripped_schema, goal.components)
+        config = bench.configs()["resyn"]
+        assert not synthesize(stripped_goal, config).succeeded
+
+    def test_verify_accepts_synthesized_program(self):
+        bench = append_benchmark()
+        result = synthesize(bench.goal, bench.configs()["resyn"])
+        assert result.succeeded
+        assert verify(result.program, bench.goal, resource_aware=True)
+
+    def test_verify_rejects_wrong_program(self):
+        bench = append_benchmark()
+        wrong = s.Fix("appendLists", ("xs", "ys"), s.Var("xs"))
+        assert not verify(wrong, bench.goal, resource_aware=False)
+
+    def test_candidate_counting(self):
+        bench = is_empty_benchmark()
+        synthesizer = Synthesizer(bench.goal, bench.configs()["resyn"])
+        result = synthesizer.synthesize()
+        assert result.succeeded
+        assert result.candidates_checked >= 1
+        assert result.code_size == result.program.size()
+
+
+class TestSynthesizerInternals:
+    def test_eterm_candidates_are_size_ordered(self):
+        bench = append_benchmark()
+        synthesizer = Synthesizer(bench.goal, bench.configs()["resyn"])
+        ctx, result_type = synthesizer.checker.initial_context(bench.goal.name, synthesizer.schema)
+        candidates = synthesizer._eterm_candidates(ctx, result_type.base)
+        sizes = [c.size() for c in candidates]
+        assert sizes == sorted(sizes)
+        assert s.Var("xs") in candidates and s.Var("ys") in candidates
+
+    def test_guard_candidates_are_boolean_applications(self):
+        goal = SynthesisGoal.create(
+            "guarded",
+            TypeSchema(("a",), arrow(("x", tvar_type("a")), ("y", tvar_type("a")), bool_type())),
+            library("lt", "eq"),
+        )
+        synthesizer = Synthesizer(goal, SynthesisConfig.resyn())
+        ctx, _ = synthesizer.checker.initial_context(goal.name, synthesizer.schema)
+        guards = synthesizer._guard_candidates(ctx)
+        assert all(isinstance(g, s.App) for g in guards)
+        assert s.App("lt", (s.Var("x"), s.Var("y"))) in guards
+
+    def test_with_default_cost_idempotent(self):
+        bench = append_benchmark()
+        schema = with_default_cost(bench.goal.schema)
+        assert schema.body.total_cost() == 1
+        assert with_default_cost(schema).body.total_cost() == 1
+
+    def test_timeout_is_respected(self):
+        bench = triple_benchmark(False)
+        config = SynthesisConfig.resyn(max_arg_depth=2, max_match_depth=0, max_cond_depth=0, timeout=0.0)
+        result = synthesize(bench.goal, config)
+        assert not result.succeeded
