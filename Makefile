@@ -1,0 +1,24 @@
+# Common entry points for builders and CI.  The PYTHONPATH juggling mirrors
+# the tier-1 command documented in ROADMAP.md, so `make test` and the CI run
+# are the same thing.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-quick bench-table1 bench-table2
+
+## Tier-1 verification: the full pytest suite (fails fast).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Quick perf benchmark: fast Table 1 subset; writes BENCH_synthesis.json
+## at the repository root (tracked across PRs).
+bench-quick:
+	$(PYTHON) benchmarks/bench_quick.py
+
+## Reproduce the paper tables on the fast subsets (REPRO_FULL=1 for all rows).
+bench-table1:
+	$(PYTHON) -m repro.benchsuite.run_table1
+
+bench-table2:
+	$(PYTHON) -m repro.benchsuite.run_table2

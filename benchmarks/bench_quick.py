@@ -1,0 +1,86 @@
+"""Quick synthesis benchmark: fast Table 1 subset with solver metrics.
+
+Runs the fast (CI-sized) Table 1 subset under the ReSyn and Synquid
+configurations, and writes a machine-readable ``BENCH_synthesis.json`` at the
+repository root so the performance trajectory can be tracked across PRs.
+
+For every (benchmark, mode) pair the report records
+
+* wall-clock synthesis time,
+* the synthesized program (stringified, for byte-identical regression checks),
+* candidate/SMT-query counters, and
+* cache hit rates of the term/encoding/SAT/LIA caches (when the running
+  version of the code exposes them via ``SynthesisResult.stats``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_quick.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.benchsuite.runner import selected_benchmarks  # noqa: E402
+from repro.core import synthesize  # noqa: E402
+
+
+MODES = ("resyn", "synquid")
+
+
+def run_quick() -> dict:
+    rows = []
+    total = 0.0
+    for bench in selected_benchmarks("table1"):
+        configs = bench.configs()
+        for mode in MODES:
+            start = time.perf_counter()
+            result = synthesize(bench.goal, configs[mode])
+            seconds = time.perf_counter() - start
+            total += seconds
+            rows.append(
+                {
+                    "benchmark": bench.key,
+                    "mode": mode,
+                    "seconds": round(seconds, 4),
+                    "succeeded": result.succeeded,
+                    "program": str(result.program) if result.program else None,
+                    "code_size": result.code_size,
+                    "candidates_checked": result.candidates_checked,
+                    "cegis_counterexamples": result.cegis_counterexamples,
+                    # Populated by the caching pipeline; empty on older versions.
+                    "stats": dict(getattr(result, "stats", {}) or {}),
+                }
+            )
+    return {
+        "suite": "table1-fast",
+        "modes": list(MODES),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "total_seconds": round(total, 4),
+        "rows": rows,
+    }
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO_ROOT, "BENCH_synthesis.json")
+    report = run_quick()
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path} (total {report['total_seconds']:.2f}s)")
+    for row in report["rows"]:
+        print(f"  {row['benchmark']:>16s} {row['mode']:>8s} {row['seconds']:7.3f}s")
+
+
+if __name__ == "__main__":
+    main()

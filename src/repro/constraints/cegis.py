@@ -40,6 +40,15 @@ class CegisStats:
     synthesis_queries: int = 0
     counterexamples: int = 0
     restarts: int = 0
+    grounding_cache_hits: int = 0
+    grounding_cache_misses: int = 0
+
+    def grounding_hit_rate(self) -> float:
+        total = self.grounding_cache_hits + self.grounding_cache_misses
+        return self.grounding_cache_hits / total if total else 0.0
+
+
+_example_counter = itertools.count()
 
 
 @dataclass
@@ -47,10 +56,24 @@ class Example:
     """A counterexample: concrete values for program variables and measures."""
 
     ints: Dict[object, int]
+    #: Stable identity used to key grounding caches across solve() calls.
+    key: int = field(default_factory=lambda: next(_example_counter))
 
     def substitute_into(self, term: Term) -> Term:
         """Replace program variables and measure applications by their values."""
-        return _substitute_values(term, self.ints)
+        key = (term, self.key)
+        cached = _GROUND_TERM_CACHE.get(key)
+        if cached is None:
+            cached = _substitute_values(term, self.ints)
+            if len(_GROUND_TERM_CACHE) >= _GROUND_TERM_CACHE_MAX:
+                _GROUND_TERM_CACHE.clear()
+            _GROUND_TERM_CACHE[key] = cached
+        return cached
+
+
+#: (term, example key) -> grounded term; examples are immutable once created.
+_GROUND_TERM_CACHE: Dict[Tuple[Term, int], Term] = {}
+_GROUND_TERM_CACHE_MAX = 1 << 16
 
 
 def _substitute_values(term: Term, values: Dict[object, int]) -> Term:
@@ -96,12 +119,21 @@ class CegisSolver:
         self.solution: Dict[str, int] = {}
         self.examples: List[Example] = []
         self.stats = CegisStats()
+        #: (constraint, example.key) -> grounded linear constraints; grounding
+        #: does not depend on the current solution (coefficients stay
+        #: symbolic), so entries stay valid for the lifetime of the example.
+        self._ground_cache: Dict[Tuple[ResourceConstraint, int], List[LinConstraint]] = {}
+        #: (expr, relevant coefficient values) -> instantiated expr.
+        self._inst_cache: Dict[Tuple[Term, Tuple[Tuple[str, int], ...]], Term] = {}
 
     # -- public API -------------------------------------------------------
     def reset(self) -> None:
         """Forget the accumulated solution and examples."""
         self.solution = {}
         self.examples = []
+        self._ground_cache.clear()
+        if len(self._inst_cache) > (1 << 14):
+            self._inst_cache.clear()
 
     def solve(self, constraints: Sequence[ResourceConstraint]) -> Optional[Dict[str, int]]:
         """Find coefficients satisfying all ``constraints`` (or ``None``).
@@ -157,8 +189,23 @@ class CegisSolver:
             return example, violated
         return None
 
+    def _instantiated_expr(self, rc: ResourceConstraint, solution: Dict[str, int]) -> Term:
+        """``rc.expr`` with the current coefficient values plugged in.
+
+        Keyed on the values of the coefficients that actually occur in the
+        constraint, so unrelated solution updates do not invalidate entries.
+        """
+        names = coefficients_in(rc.expr)
+        items = tuple(sorted((name, int(solution.get(name, 0))) for name in names))
+        key = (rc.expr, items)
+        cached = self._inst_cache.get(key)
+        if cached is None:
+            cached = t.substitute(rc.expr, {name: t.IntConst(v) for name, v in items})
+            self._inst_cache[key] = cached
+        return cached
+
     def _violation_query(self, rc: ResourceConstraint, solution: Dict[str, int]) -> Term:
-        instantiated = t.substitute(rc.expr, {name: t.IntConst(v) for name, v in solution.items()})
+        instantiated = self._instantiated_expr(rc, solution)
         if rc.equality:
             violation = t.disj(instantiated < 0, instantiated > 0)
         else:
@@ -167,7 +214,7 @@ class CegisSolver:
 
     def _is_violated(self, rc: ResourceConstraint, example: Example) -> bool:
         """Whether ``rc`` (under the current solution) is violated by ``example``."""
-        instantiated = t.substitute(rc.expr, {name: t.IntConst(v) for name, v in self.solution.items()})
+        instantiated = self._instantiated_expr(rc, self.solution)
         query = t.conj(rc.guard, (instantiated < 0) if not rc.equality else t.disj(instantiated < 0, instantiated > 0))
         grounded = example.substitute_into(query)
         try:
@@ -238,7 +285,23 @@ class CegisSolver:
         return None
 
     def _ground_constraint(self, rc: ResourceConstraint, example: Example) -> List[LinConstraint]:
-        """Instantiate a constraint on an example, producing constraints over C."""
+        """Instantiate a constraint on an example, producing constraints over C.
+
+        Grounding leaves the unknown coefficients symbolic, so the result
+        depends only on (constraint, example) and is kept across
+        :meth:`solve` calls — the incremental loop re-grounds nothing.
+        """
+        key = (rc, example.key)
+        cached = self._ground_cache.get(key)
+        if cached is not None:
+            self.stats.grounding_cache_hits += 1
+            return cached
+        self.stats.grounding_cache_misses += 1
+        constraints = self._ground_constraint_uncached(rc, example)
+        self._ground_cache[key] = constraints
+        return constraints
+
+    def _ground_constraint_uncached(self, rc: ResourceConstraint, example: Example) -> List[LinConstraint]:
         guard = example.substitute_into(rc.guard)
         try:
             if self.solver.check_sat(guard) is None:

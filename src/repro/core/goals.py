@@ -56,6 +56,9 @@ class SynthesisResult:
     resource_rejections: int = 0
     functional_rejections: int = 0
     cegis_counterexamples: int = 0
+    #: Per-run SMT query counts and cache hit rates, aggregated from every
+    #: layer of the pipeline (solver, encoder, LIA, CEGIS) by the synthesizer.
+    stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:

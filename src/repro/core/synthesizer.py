@@ -34,6 +34,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.goals import SynthesisGoal, SynthesisResult
 from repro.lang import syntax as s
 from repro.logic import terms as t
+from repro.smt import lia
 from repro.smt.solver import Solver
 from repro.typing.checker import CheckerConfig, TypeChecker
 from repro.typing.context import Context
@@ -106,6 +107,8 @@ class Synthesizer:
         start = time.perf_counter()
         if self.config.timeout is not None:
             self._deadline = start + self.config.timeout
+        lia_queries_before = lia.stats.queries
+        lia_hits_before = lia.stats.cache_hits
         program: Optional[s.Fix] = None
         try:
             if self.config.enumerate_and_check:
@@ -123,7 +126,33 @@ class Synthesizer:
             resource_rejections=self.checker.stats.resource_rejections,
             functional_rejections=self.checker.stats.functional_rejections,
             cegis_counterexamples=self.cegis.stats.counterexamples,
+            stats=self._collect_stats(lia_queries_before, lia_hits_before),
         )
+
+    def _collect_stats(self, lia_queries_before: int, lia_hits_before: int) -> Dict[str, float]:
+        """Aggregate query counts and cache hit rates from every layer.
+
+        The solver/encoder/CEGIS stats are per-instance and therefore per-run;
+        the LIA feasibility cache is process-wide, so its counters are
+        reported as deltas over this run.
+        """
+        report = self.solver.cache_report()
+        lia_queries = lia.stats.queries - lia_queries_before
+        lia_hits = lia.stats.cache_hits - lia_hits_before
+        report.update(
+            {
+                "eterm_checks": self.checker.stats.eterm_checks,
+                "subtype_queries": self.checker.stats.subtype_queries,
+                "resource_constraints": self.checker.stats.resource_constraints,
+                "cegis_verification_queries": self.cegis.stats.verification_queries,
+                "cegis_synthesis_queries": self.cegis.stats.synthesis_queries,
+                "cegis_grounding_hit_rate": round(self.cegis.stats.grounding_hit_rate(), 4),
+                "lia_queries": lia_queries,
+                "lia_cache_hits": lia_hits,
+                "lia_cache_hit_rate": round(lia_hits / lia_queries, 4) if lia_queries else 0.0,
+            }
+        )
+        return report
 
     def _programs(self) -> Iterator[s.Fix]:
         """Generator of complete programs satisfying the goal (lazily)."""

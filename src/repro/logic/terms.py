@@ -18,17 +18,111 @@ implementation (Sec. 4.3):
 
 Terms are immutable (frozen dataclasses) and hashable, so they can be used as
 dictionary keys by the SMT layer and the constraint solvers.
+
+Terms are also *hash-consed*: every constructor interns its result in a
+per-class table, so structurally equal terms built anywhere in the system are
+the same Python object.  This gives three things the synthesis hot path needs:
+
+* equality checks and dictionary lookups degenerate to pointer comparisons in
+  the common case,
+* per-node derived data (structural hash, free variables, node size, the
+  simplified form) can be cached directly on the node, and
+* downstream caches (SMT encodings, validity results, CEGIS groundings) can be
+  keyed on term identity and stay coherent across queries.
+
+Interning can be switched off with :func:`set_interning` (used by the
+regression tests that compare the cached and uncached pipelines).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.logic.sorts import BOOL, DATA, INT, SET, Sort
 
 
-class Term:
+_INTERNING = True
+_TERM_CLASSES: List[type] = []
+
+
+def set_interning(enabled: bool) -> None:
+    """Globally enable/disable hash-consing of term constructors."""
+    global _INTERNING
+    _INTERNING = bool(enabled)
+
+
+def interning_enabled() -> bool:
+    return _INTERNING
+
+
+def clear_term_caches() -> None:
+    """Drop all intern tables and the substitution memo (test hygiene)."""
+    for cls in _TERM_CLASSES:
+        cls._intern_table.clear()
+    _SUBST_CACHE.clear()
+
+
+class _TermMeta(type):
+    """Metaclass that hash-conses term construction.
+
+    Constructing a node first builds the candidate object, then returns the
+    canonical structurally-equal instance from the class's intern table (the
+    candidate itself on first sight).  Canonicalisation happens on the fully
+    initialised object, so every constructor-argument spelling of the same
+    term maps to one instance.
+    """
+
+    def __init__(cls, name: str, bases: tuple, namespace: dict) -> None:
+        super().__init__(name, bases, namespace)
+        cls._intern_table: Dict[object, object] = {}
+        _TERM_CLASSES.append(cls)
+
+    def __call__(cls, *args, **kwargs):
+        obj = super().__call__(*args, **kwargs)
+        if not _INTERNING:
+            return obj
+        table = cls._intern_table
+        canonical = table.get(obj)
+        if canonical is None:
+            table[obj] = obj
+            return obj
+        return canonical
+
+
+def _term_node(cls: type) -> type:
+    """Decorator for concrete term nodes: frozen dataclass + cached hash.
+
+    The dataclass-generated ``__hash__`` walks the whole subtree; we compute
+    it once per node and store it on the instance (children are interned, so
+    their hashes are already cached and the computation is O(arity), not
+    O(tree)).  ``__eq__`` gets an identity fast path: with interning on,
+    structurally equal terms *are* identical, so the structural comparison only
+    runs inside intern-table lookups.
+    """
+
+    cls = dataclass(frozen=True)(cls)
+    structural_hash = cls.__hash__
+    structural_eq = cls.__eq__
+
+    def __hash__(self):  # noqa: ANN001 - dataclass protocol
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = structural_hash(self)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __eq__(self, other):  # noqa: ANN001
+        if self is other:
+            return True
+        return structural_eq(self, other)
+
+    cls.__hash__ = __hash__
+    cls.__eq__ = __eq__
+    return cls
+
+
+class Term(metaclass=_TermMeta):
     """Base class of refinement terms.
 
     Subclasses are frozen dataclasses; all children of a term are themselves
@@ -130,7 +224,7 @@ def _coerce(value: "Term | int | bool") -> Term:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@_term_node
 class Var(Term):
     """A program variable (or the value variable ``nu``) of a given sort."""
 
@@ -141,7 +235,7 @@ class Var(Term):
         return self.name
 
 
-@dataclass(frozen=True)
+@_term_node
 class IntConst(Term):
     """An integer literal."""
 
@@ -152,7 +246,7 @@ class IntConst(Term):
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@_term_node
 class BoolConst(Term):
     """A Boolean literal (``True`` or ``False``)."""
 
@@ -177,7 +271,7 @@ NU = Var("_v", INT)
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@_term_node
 class Add(Term):
     """Integer addition."""
 
@@ -192,7 +286,7 @@ class Add(Term):
         return f"({self.left} + {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Sub(Term):
     """Integer subtraction."""
 
@@ -207,7 +301,7 @@ class Sub(Term):
         return f"({self.left} - {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Mul(Term):
     """Multiplication.
 
@@ -227,7 +321,7 @@ class Mul(Term):
         return f"({self.left} * {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Ite(Term):
     """Conditional term ``if cond then then_branch else else_branch``.
 
@@ -252,7 +346,7 @@ class Ite(Term):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@_term_node
 class Le(Term):
     left: Term
     right: Term
@@ -265,7 +359,7 @@ class Le(Term):
         return f"({self.left} <= {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Lt(Term):
     left: Term
     right: Term
@@ -278,7 +372,7 @@ class Lt(Term):
         return f"({self.left} < {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Ge(Term):
     left: Term
     right: Term
@@ -291,7 +385,7 @@ class Ge(Term):
         return f"({self.left} >= {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Gt(Term):
     left: Term
     right: Term
@@ -304,7 +398,7 @@ class Gt(Term):
         return f"({self.left} > {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Eq(Term):
     """Equality; both operands must have the same sort.
 
@@ -328,7 +422,7 @@ class Eq(Term):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@_term_node
 class Not(Term):
     arg: Term
     sort: Sort = field(default=BOOL, init=False)
@@ -340,7 +434,7 @@ class Not(Term):
         return f"(not {self.arg})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class And(Term):
     args: Tuple[Term, ...]
     sort: Sort = field(default=BOOL, init=False)
@@ -354,7 +448,7 @@ class And(Term):
         return "(" + " && ".join(str(a) for a in self.args) + ")"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Or(Term):
     args: Tuple[Term, ...]
     sort: Sort = field(default=BOOL, init=False)
@@ -368,7 +462,7 @@ class Or(Term):
         return "(" + " || ".join(str(a) for a in self.args) + ")"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Implies(Term):
     antecedent: Term
     consequent: Term
@@ -381,7 +475,7 @@ class Implies(Term):
         return f"({self.antecedent} ==> {self.consequent})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class Iff(Term):
     left: Term
     right: Term
@@ -399,7 +493,7 @@ class Iff(Term):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@_term_node
 class App(Term):
     """Application of a measure or uninterpreted function, e.g. ``len xs``.
 
@@ -425,7 +519,7 @@ class App(Term):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@_term_node
 class EmptySet(Term):
     """The empty set literal ``{}``."""
 
@@ -435,7 +529,7 @@ class EmptySet(Term):
         return "{}"
 
 
-@dataclass(frozen=True)
+@_term_node
 class SetSingleton(Term):
     """The singleton set ``{elem}``."""
 
@@ -449,7 +543,7 @@ class SetSingleton(Term):
         return f"{{{self.elem}}}"
 
 
-@dataclass(frozen=True)
+@_term_node
 class SetUnion(Term):
     left: Term
     right: Term
@@ -462,7 +556,7 @@ class SetUnion(Term):
         return f"({self.left} ∪ {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class SetIntersect(Term):
     left: Term
     right: Term
@@ -475,7 +569,7 @@ class SetIntersect(Term):
         return f"({self.left} ∩ {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class SetDiff(Term):
     left: Term
     right: Term
@@ -488,7 +582,7 @@ class SetDiff(Term):
         return f"({self.left} − {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class SetMember(Term):
     """Membership atom ``elem in set_term``."""
 
@@ -503,7 +597,7 @@ class SetMember(Term):
         return f"({self.elem} ∈ {self.set_term})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class SetSubset(Term):
     """Subset atom ``left ⊆ right``."""
 
@@ -518,7 +612,7 @@ class SetSubset(Term):
         return f"({self.left} ⊆ {self.right})"
 
 
-@dataclass(frozen=True)
+@_term_node
 class SetAll(Term):
     """Bounded quantification ``forall var in set_term. body``.
 
@@ -676,32 +770,60 @@ def heads(term: Term) -> App:
 
 
 def free_vars(term: Term) -> frozenset[str]:
-    """Names of free variables of ``term``.
+    """Names of free variables of ``term`` (cached on the node).
 
     The only binder in the logic is :class:`SetAll`; its bound variable is
     removed from the free variables of its body.
     """
+    cached = term.__dict__.get("_free_vars")
+    if cached is not None:
+        return cached
     if isinstance(term, Var):
-        return frozenset((term.name,))
-    if isinstance(term, SetAll):
-        return free_vars(term.set_term) | (free_vars(term.body) - {term.var})
-    result: frozenset[str] = frozenset()
-    for child in term.children():
-        result |= free_vars(child)
+        result: frozenset[str] = frozenset((term.name,))
+    elif isinstance(term, SetAll):
+        result = free_vars(term.set_term) | (free_vars(term.body) - {term.var})
+    else:
+        result = frozenset()
+        for child in term.children():
+            result |= free_vars(child)
+    object.__setattr__(term, "_free_vars", result)
     return result
 
 
 def free_var_terms(term: Term) -> frozenset[Var]:
     """Free variables of ``term`` as :class:`Var` nodes (with their sorts)."""
+    cached = term.__dict__.get("_free_var_terms")
+    if cached is not None:
+        return cached
     if isinstance(term, Var):
-        return frozenset((term,))
-    if isinstance(term, SetAll):
+        result: frozenset[Var] = frozenset((term,))
+    elif isinstance(term, SetAll):
         inner = frozenset(v for v in free_var_terms(term.body) if v.name != term.var)
-        return free_var_terms(term.set_term) | inner
-    result: frozenset[Var] = frozenset()
-    for child in term.children():
-        result |= free_var_terms(child)
+        result = free_var_terms(term.set_term) | inner
+    else:
+        result = frozenset()
+        for child in term.children():
+            result |= free_var_terms(child)
+    object.__setattr__(term, "_free_var_terms", result)
     return result
+
+
+def node_size(term: Term) -> int:
+    """Number of nodes in the term tree (cached on the node)."""
+    cached = term.__dict__.get("_node_size")
+    if cached is not None:
+        return cached
+    result = 1 + sum(node_size(child) for child in term.children())
+    object.__setattr__(term, "_node_size", result)
+    return result
+
+
+#: Memo for :func:`substitute`, keyed on (term, relevant mapping items).
+#: Interning makes both components cheap to hash; the table is cleared
+#: wholesale when it grows past the bound (simple, and the working set of a
+#: synthesis run is far below it).
+_SUBST_CACHE: Dict[Tuple[Term, Tuple[Tuple[str, Term], ...]], Term] = {}
+_SUBST_CACHE_MAX = 1 << 17
 
 
 def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
@@ -711,68 +833,69 @@ def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
     a :class:`SetAll` binder removes the bound variable from the mapping (the
     bound variable is always chosen fresh by construction, so no renaming is
     needed).
+
+    The walk prunes on cached free-variable sets — subtrees that mention no
+    mapped variable are returned as-is without traversal — and memoizes
+    (term, relevant-mapping) pairs, so the repeated ``NU``-substitutions of the
+    type checker are amortised O(changed nodes) instead of O(tree) per call.
     """
     if not mapping:
         return term
+    fvs = free_vars(term)
+    relevant = {k: v for k, v in mapping.items() if k in fvs}
+    if not relevant:
+        return term
+    key = (term, tuple(sorted(relevant.items())))
+    cached = _SUBST_CACHE.get(key)
+    if cached is not None:
+        return cached
     if isinstance(term, Var):
-        return mapping.get(term.name, term)
-    if isinstance(term, SetAll):
-        inner = {k: v for k, v in mapping.items() if k != term.var}
-        return SetAll(term.var, substitute(term.set_term, mapping), substitute(term.body, inner))
-    if isinstance(term, (IntConst, BoolConst, EmptySet)):
-        return term
-    children = term.children()
-    new_children = tuple(substitute(c, mapping) for c in children)
-    if new_children == children:
-        return term
-    return _rebuild(term, new_children)
+        result = relevant.get(term.name, term)
+    elif isinstance(term, SetAll):
+        inner = {k: v for k, v in relevant.items() if k != term.var}
+        result = SetAll(term.var, substitute(term.set_term, relevant), substitute(term.body, inner))
+    else:
+        children = term.children()
+        new_children = tuple(substitute(c, relevant) for c in children)
+        result = term if new_children == children else _rebuild(term, new_children)
+    if len(_SUBST_CACHE) >= _SUBST_CACHE_MAX:
+        _SUBST_CACHE.clear()
+    _SUBST_CACHE[key] = result
+    return result
 
 
 def _rebuild(term: Term, children: Tuple[Term, ...]) -> Term:
     """Rebuild a term node with new children (same shape)."""
-    if isinstance(term, Add):
-        return Add(*children)
-    if isinstance(term, Sub):
-        return Sub(*children)
-    if isinstance(term, Mul):
-        return Mul(*children)
-    if isinstance(term, Ite):
-        return Ite(children[0], children[1], children[2], term.sort)
-    if isinstance(term, Le):
-        return Le(*children)
-    if isinstance(term, Lt):
-        return Lt(*children)
-    if isinstance(term, Ge):
-        return Ge(*children)
-    if isinstance(term, Gt):
-        return Gt(*children)
-    if isinstance(term, Eq):
-        return Eq(*children)
-    if isinstance(term, Not):
-        return Not(children[0])
-    if isinstance(term, And):
-        return And(children)
-    if isinstance(term, Or):
-        return Or(children)
-    if isinstance(term, Implies):
-        return Implies(*children)
-    if isinstance(term, Iff):
-        return Iff(*children)
-    if isinstance(term, App):
-        return App(term.func, children, term.sort)
-    if isinstance(term, SetSingleton):
-        return SetSingleton(children[0])
-    if isinstance(term, SetUnion):
-        return SetUnion(*children)
-    if isinstance(term, SetIntersect):
-        return SetIntersect(*children)
-    if isinstance(term, SetDiff):
-        return SetDiff(*children)
-    if isinstance(term, SetMember):
-        return SetMember(*children)
-    if isinstance(term, SetSubset):
-        return SetSubset(*children)
-    raise TypeError(f"cannot rebuild term of type {type(term).__name__}")
+    rebuilder = _REBUILDERS.get(type(term))
+    if rebuilder is None:
+        raise TypeError(f"cannot rebuild term of type {type(term).__name__}")
+    return rebuilder(term, children)
+
+
+#: type -> rebuild function; a dispatch table instead of an isinstance chain.
+_REBUILDERS: Dict[type, "object"] = {
+    Add: lambda term, c: Add(*c),
+    Sub: lambda term, c: Sub(*c),
+    Mul: lambda term, c: Mul(*c),
+    Ite: lambda term, c: Ite(c[0], c[1], c[2], term.sort),
+    Le: lambda term, c: Le(*c),
+    Lt: lambda term, c: Lt(*c),
+    Ge: lambda term, c: Ge(*c),
+    Gt: lambda term, c: Gt(*c),
+    Eq: lambda term, c: Eq(*c),
+    Not: lambda term, c: Not(c[0]),
+    And: lambda term, c: And(c),
+    Or: lambda term, c: Or(c),
+    Implies: lambda term, c: Implies(*c),
+    Iff: lambda term, c: Iff(*c),
+    App: lambda term, c: App(term.func, c, term.sort),
+    SetSingleton: lambda term, c: SetSingleton(c[0]),
+    SetUnion: lambda term, c: SetUnion(*c),
+    SetIntersect: lambda term, c: SetIntersect(*c),
+    SetDiff: lambda term, c: SetDiff(*c),
+    SetMember: lambda term, c: SetMember(*c),
+    SetSubset: lambda term, c: SetSubset(*c),
+}
 
 
 def rename(term: Term, mapping: Mapping[str, str]) -> Term:

@@ -60,30 +60,198 @@ class Encoding:
     trivial: Optional[bool] = None
 
 
+@dataclass
+class EncoderStats:
+    """Cache counters for the evaluation harness."""
+
+    encode_calls: int = 0
+    encode_cache_hits: int = 0
+    preprocess_calls: int = 0
+    preprocess_cache_hits: int = 0
+
+    def encode_hit_rate(self) -> float:
+        return self.encode_cache_hits / self.encode_calls if self.encode_calls else 0.0
+
+
+#: Module-wide cache switch (also gates the per-node preprocessing memos).
+_CACHING = True
+
+#: formula -> preprocessed (pre-Tseitin) formula, shared by all encoders.
+_PRE_CACHE: Dict[Term, Term] = {}
+#: per-node memos of the preprocessing passes (pure term -> term maps).
+_ITE_CACHE: Dict[Term, Term] = {}
+_ITE_NUMERIC_CACHE: Dict[Term, Term] = {}
+_NNF_CACHE: Dict[Tuple[Term, bool], Term] = {}
+#: formula -> one-shot Encoding (for the module-level :func:`encode`).
+_ENCODING_CACHE: Dict[Term, Encoding] = {}
+#: Bound for the module-level caches; cleared wholesale when exceeded.
+_MODULE_CACHE_MAX = 1 << 16
+
+stats = EncoderStats()
+
+
+def _bounded_store(cache: Dict, key, value) -> None:
+    """Insert into a module cache, clearing it wholesale at the bound."""
+    if len(cache) >= _MODULE_CACHE_MAX:
+        cache.clear()
+    cache[key] = value
+
+
+def set_caching(enabled: bool) -> None:
+    """Enable/disable all encoder caches (used by regression tests)."""
+    global _CACHING
+    _CACHING = bool(enabled)
+    if not enabled:
+        clear_caches()
+
+
+def clear_caches() -> None:
+    _PRE_CACHE.clear()
+    _ITE_CACHE.clear()
+    _ITE_NUMERIC_CACHE.clear()
+    _NNF_CACHE.clear()
+    _ENCODING_CACHE.clear()
+
+
 # ---------------------------------------------------------------------------
-# Public entry point
+# Public entry points
 # ---------------------------------------------------------------------------
 
 
-def encode(formula: Term) -> Encoding:
-    """Encode a Boolean-sorted refinement term for satisfiability checking."""
-    formula = simplify(formula)
-    if isinstance(formula, t.BoolConst):
-        return Encoding(CNF(), trivial=formula.value)
+def _preprocess(formula: Term) -> Term:
+    """Simplify + Ite-elimination + data equalities + NNF + set grounding.
 
-    fresh = _FreshNames()
-    formula = _eliminate_ite(formula)
-    formula = _expand_data_equalities(formula)
-    formula = _nnf(formula, positive=True)
-    formula = _ground_sets(formula, fresh)
-    formula = simplify(formula)
-    if isinstance(formula, t.BoolConst):
-        return Encoding(CNF(), trivial=formula.value)
+    The result is either a :class:`~repro.logic.terms.BoolConst` (trivial
+    query) or a ground, NNF, Ite-free formula ready for Tseitin encoding.
+    Cached per interned formula: the synthesizer re-checks the same subtyping
+    and consistency queries many times along different search branches.
+    """
+    stats.preprocess_calls += 1
+    if _CACHING:
+        cached = _PRE_CACHE.get(formula)
+        if cached is not None:
+            stats.preprocess_cache_hits += 1
+            return cached
+    result = simplify(formula)
+    if not isinstance(result, t.BoolConst):
+        fresh = _FreshNames()
+        result = _eliminate_ite(result)
+        result = _expand_data_equalities(result)
+        result = _nnf(result, positive=True)
+        result = _ground_sets(result, fresh)
+        result = simplify(result)
+    if _CACHING:
+        _bounded_store(_PRE_CACHE, formula, result)
+    return result
 
-    builder = _CnfBuilder()
-    root = builder.literal_for(formula)
-    builder.cnf.add_clause((root,))
-    return Encoding(builder.cnf, builder.linear_atoms, builder.bool_atoms)
+
+def encode(formula: Term, use_cache: Optional[bool] = None) -> Encoding:
+    """Encode a Boolean-sorted refinement term for satisfiability checking.
+
+    One-shot interface: every call returns a self-contained :class:`Encoding`
+    with its own CNF (cached per formula unless caching is off, in which case
+    a fresh encoding is built).  The incremental pipeline of
+    :mod:`repro.smt.solver` uses :class:`IncrementalEncoder` instead, which
+    shares the theory-atom table across queries.
+    """
+    caching = _CACHING if use_cache is None else (use_cache and _CACHING)
+    if caching:
+        cached = _ENCODING_CACHE.get(formula)
+        if cached is not None:
+            # Hand out a private CNF (and atom-map) copy: callers may mutate
+            # their encoding (blocking clauses etc.) without poisoning the
+            # cache.  The clause tuples themselves are immutable.
+            return Encoding(
+                cached.cnf.copy(), dict(cached.linear_atoms), dict(cached.bool_atoms), cached.trivial
+            )
+    preprocessed = _preprocess(formula)
+    if isinstance(preprocessed, t.BoolConst):
+        encoding = Encoding(CNF(), trivial=preprocessed.value)
+    else:
+        builder = _CnfBuilder()
+        root = builder.literal_for(preprocessed)
+        builder.cnf.add_clause((root,))
+        encoding = Encoding(builder.cnf, builder.linear_atoms, builder.bool_atoms)
+    if caching:
+        if len(_ENCODING_CACHE) >= _MODULE_CACHE_MAX:
+            _ENCODING_CACHE.clear()
+        _ENCODING_CACHE[formula] = Encoding(
+            encoding.cnf.copy(),
+            dict(encoding.linear_atoms),
+            dict(encoding.bool_atoms),
+            encoding.trivial,
+        )
+    return encoding
+
+
+@dataclass
+class FormulaEncoding:
+    """A formula's encoding against a shared atom table.
+
+    ``cnf`` holds only this formula's Tseitin gate clauses (plus any theory
+    lemmas the solver appends); the root literal is *not* asserted as a unit
+    clause — the DPLL(T) loop solves under the assumption ``root`` instead,
+    so learned lemmas live alongside reusable gate clauses.
+    """
+
+    root: int
+    cnf: CNF
+    #: relevant theory atoms of this formula (subsets of the shared tables).
+    linear_atoms: Dict[int, LinExpr]
+    bool_atoms: Dict[int, Term]
+    atom_vars: frozenset
+    trivial: Optional[bool] = None
+    #: per-encoding solver state, attached lazily by repro.smt.solver.
+    sat: Optional[object] = None
+    lemma_pos: int = 0
+    lemma_seen: set = field(default_factory=set)
+
+
+class IncrementalEncoder:
+    """Persistent encoder whose atom table is shared across queries.
+
+    Every theory atom (a normalized linear constraint or an opaque Boolean
+    term) maps to one SAT variable for the lifetime of the encoder, no matter
+    how many formulas mention it.  This is what makes theory lemmas portable:
+    a blocking clause learned while solving one query speaks about the same
+    variables in every later query, so the solver can replay it wherever the
+    lemma's atoms all occur (see ``Solver._sync_lemmas``).
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._atom_cache: Dict[object, int] = {}
+        #: global atom tables (var -> atom), across all formulas.
+        self.linear_atoms: Dict[int, LinExpr] = {}
+        self.bool_atoms: Dict[int, Term] = {}
+        self._cache: Dict[Term, FormulaEncoding] = {}
+        self.stats = EncoderStats()
+
+    def new_var(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def encode(self, formula: Term) -> FormulaEncoding:
+        self.stats.encode_calls += 1
+        cached = self._cache.get(formula)
+        if cached is not None:
+            self.stats.encode_cache_hits += 1
+            return cached
+        preprocessed = _preprocess(formula)
+        if isinstance(preprocessed, t.BoolConst):
+            encoding = FormulaEncoding(0, CNF(), {}, {}, frozenset(), trivial=preprocessed.value)
+        else:
+            builder = _CnfBuilder(shared=self)
+            root = builder.literal_for(preprocessed)
+            encoding = FormulaEncoding(
+                root,
+                builder.cnf,
+                builder.linear_atoms,
+                builder.bool_atoms,
+                frozenset(builder.linear_atoms) | frozenset(builder.bool_atoms),
+            )
+        self._cache[formula] = encoding
+        return encoding
 
 
 class _FreshNames:
@@ -102,7 +270,18 @@ class _FreshNames:
 
 
 def _eliminate_ite(term: Term) -> Term:
-    """Remove ``Ite`` nodes by case-splitting the enclosing atom."""
+    """Remove ``Ite`` nodes by case-splitting the enclosing atom (memoized)."""
+    if _CACHING:
+        cached = _ITE_CACHE.get(term)
+        if cached is not None:
+            return cached
+    result = _eliminate_ite_uncached(term)
+    if _CACHING:
+        _bounded_store(_ITE_CACHE, term, result)
+    return result
+
+
+def _eliminate_ite_uncached(term: Term) -> Term:
     if isinstance(term, t.Ite) and term.sort == BOOL:
         return _eliminate_ite(
             t.disj(
@@ -135,7 +314,14 @@ def _eliminate_ite_numeric(term: Term) -> Term:
     children = term.children()
     if not children:
         return term
-    return t._rebuild(term, tuple(_eliminate_ite_numeric(c) for c in children))
+    if _CACHING:
+        cached = _ITE_NUMERIC_CACHE.get(term)
+        if cached is not None:
+            return cached
+    result = t._rebuild(term, tuple(_eliminate_ite_numeric(c) for c in children))
+    if _CACHING:
+        _bounded_store(_ITE_NUMERIC_CACHE, term, result)
+    return result
 
 
 def _find_numeric_ite(term: Term) -> Optional[t.Ite]:
@@ -208,6 +394,18 @@ def _measure_equalities(left: Term, right: Term, apps: frozenset[t.App]) -> Term
 
 
 def _nnf(term: Term, positive: bool) -> Term:
+    if _CACHING:
+        key = (term, positive)
+        cached = _NNF_CACHE.get(key)
+        if cached is not None:
+            return cached
+        result = _nnf_uncached(term, positive)
+        _bounded_store(_NNF_CACHE, key, result)
+        return result
+    return _nnf_uncached(term, positive)
+
+
+def _nnf_uncached(term: Term, positive: bool) -> Term:
     if isinstance(term, t.Not):
         return _nnf(term.arg, not positive)
     if isinstance(term, t.And):
@@ -391,31 +589,54 @@ def _element_congruence_axioms(grounded: Term, universe: List[Term]) -> List[Ter
 
 
 class _CnfBuilder:
-    """Tseitin transformation; atoms become SAT variables."""
+    """Tseitin transformation; atoms become SAT variables.
 
-    def __init__(self) -> None:
+    Standalone builders own their variable counter and atom table (one-shot
+    :func:`encode`).  When constructed with ``shared``, theory-atom variables
+    come from the :class:`IncrementalEncoder`'s persistent table — the same
+    atom in two formulas maps to the same variable — while gate variables are
+    still drawn from the shared counter (so all clause groups live in one
+    variable space) and gate clauses stay per-formula.
+    """
+
+    def __init__(self, shared: Optional[IncrementalEncoder] = None) -> None:
         self.cnf = CNF()
+        self._shared = shared
         self.linear_atoms: Dict[int, LinExpr] = {}
         self.bool_atoms: Dict[int, Term] = {}
-        self._atom_cache: Dict[object, int] = {}
+        self._atom_cache: Dict[object, int] = shared._atom_cache if shared else {}
         self._node_cache: Dict[Term, int] = {}
+
+    def _new_var(self) -> int:
+        if self._shared is not None:
+            var = self._shared.new_var()
+            if var > self.cnf.num_vars:
+                self.cnf.num_vars = var
+            return var
+        return self.cnf.new_var()
 
     # -- atoms ------------------------------------------------------------
     def _linear_atom_var(self, expr: LinExpr) -> int:
         key = ("lin", expr.coeffs, expr.constant)
-        if key not in self._atom_cache:
-            var = self.cnf.new_var()
+        var = self._atom_cache.get(key)
+        if var is None:
+            var = self._new_var()
             self._atom_cache[key] = var
-            self.linear_atoms[var] = expr
-        return self._atom_cache[key]
+            if self._shared is not None:
+                self._shared.linear_atoms[var] = expr
+        self.linear_atoms.setdefault(var, expr)
+        return var
 
     def _bool_atom_var(self, atom: Term) -> int:
         key = ("bool", atom)
-        if key not in self._atom_cache:
-            var = self.cnf.new_var()
+        var = self._atom_cache.get(key)
+        if var is None:
+            var = self._new_var()
             self._atom_cache[key] = var
-            self.bool_atoms[var] = atom
-        return self._atom_cache[key]
+            if self._shared is not None:
+                self._shared.bool_atoms[var] = atom
+        self.bool_atoms.setdefault(var, atom)
+        return var
 
     # -- formula structure --------------------------------------------------
     def literal_for(self, term: Term) -> int:
@@ -427,7 +648,7 @@ class _CnfBuilder:
 
     def _build(self, term: Term) -> int:
         if isinstance(term, t.BoolConst):
-            var = self.cnf.new_var()
+            var = self._new_var()
             self.cnf.add_clause((var,) if term.value else (-var,))
             return var
         if isinstance(term, t.Not):
@@ -449,7 +670,7 @@ class _CnfBuilder:
         return self._atom_literal(term)
 
     def _gate(self, literals: List[int], is_and: bool) -> int:
-        out = self.cnf.new_var()
+        out = self._new_var()
         if is_and:
             for lit in literals:
                 self.cnf.add_clause((-out, lit))

@@ -1,11 +1,24 @@
-"""A small propositional SAT solver (DPLL with unit propagation).
+"""A small propositional SAT solver (DPLL with watched-literal propagation).
 
 The Boolean skeletons produced by the Re2 validity checker are small (tens of
-variables and clauses), so a straightforward DPLL procedure with unit
-propagation, pure-literal elimination and clause-learning-free backtracking is
-entirely sufficient.  The solver exposes an iterator over models so that the
-lazy DPLL(T) loop in :mod:`repro.smt.solver` can enumerate Boolean assignments
-and block theory-inconsistent ones.
+variables and clauses), but the DPLL(T) loop in :mod:`repro.smt.solver` solves
+the *same* skeleton many times while theory lemmas accumulate.  The engine
+here is therefore built for incremental use:
+
+* :class:`SatSolver` attaches to a :class:`CNF` clause database and ingests
+  newly added clauses lazily, so learned theory lemmas never force a copy of
+  the clause list;
+* queries are solved *under assumptions* (extra literals asserted for one call
+  only), which is how the lazy DPLL(T) loop asserts the root literal of a
+  Tseitin encoding against a shared clause database; and
+* unit propagation uses the two-watched-literals scheme, so propagating an
+  assignment touches only the clauses watching the falsified literal instead
+  of rescanning (and rebuilding) the whole clause list per decision level.
+
+The branching heuristic is the MOMS-like occurrence count of the original
+recursive implementation, computed over the not-yet-satisfied clauses in
+database order, so the models found (and hence the theory counterexamples fed
+to CEGIS) are identical to the previous engine's.
 
 Literals follow the DIMACS convention: variables are positive integers and a
 negative literal ``-v`` denotes the negation of variable ``v``.
@@ -14,14 +27,10 @@ negative literal ``-v`` denotes the negation of variable ``v``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 Clause = Tuple[int, ...]
-
-
-class Unsatisfiable(Exception):
-    """Raised internally when propagation derives a conflict."""
 
 
 @dataclass
@@ -48,122 +57,214 @@ class CNF:
         return CNF(self.num_vars, list(self.clauses))
 
 
-def solve(cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
-    """Return a satisfying assignment (as ``var -> bool``) or ``None``."""
-    assignment: Dict[int, bool] = {}
-    try:
+class SatSolver:
+    """Incremental DPLL engine over a (growing) clause database.
+
+    The solver never copies the database: clauses added to the attached
+    :class:`CNF` after construction are ingested on the next :meth:`solve`
+    call, and per-query state (the assignment trail) is rebuilt from the
+    assumptions each time.  Watch lists persist across calls — the watched
+    literals of a clause are unassigned at the start of every query, so the
+    watching invariant carries over.
+    """
+
+    def __init__(self, cnf: CNF) -> None:
+        self.cnf = cnf
+        self._ingested = 0
+        #: pristine clauses in database order (for the branching heuristic)
+        self._originals: List[Clause] = []
+        #: mutable watched copies of clauses with >= 2 literals
+        self._watched: List[List[int]] = []
+        self._watch: Dict[int, List[int]] = {}
+        self._units: List[int] = []
+        self._has_empty = False
+
+    # -- clause ingestion ---------------------------------------------------
+    def _ingest(self) -> None:
+        clauses = self.cnf.clauses
+        for index in range(self._ingested, len(clauses)):
+            clause = clauses[index]
+            self._originals.append(clause)
+            if not clause:
+                self._has_empty = True
+            elif len(clause) == 1:
+                self._units.append(clause[0])
+            else:
+                watched = list(clause)
+                ci = len(self._watched)
+                self._watched.append(watched)
+                self._watch.setdefault(watched[0], []).append(ci)
+                self._watch.setdefault(watched[1], []).append(ci)
+        self._ingested = len(clauses)
+
+    # -- solving --------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+        """A satisfying assignment extending ``assumptions``, or ``None``.
+
+        The returned assignment covers every variable that was assigned during
+        the search; callers default the remaining variables as they see fit.
+        """
+        self._ingest()
+        if self._has_empty:
+            return None
+        assign: Dict[int, bool] = {}
+        trail: List[int] = []
+
+        def enqueue(literal: int) -> bool:
+            var = abs(literal)
+            value = literal > 0
+            existing = assign.get(var)
+            if existing is None:
+                assign[var] = value
+                trail.append(literal)
+                return True
+            return existing == value
+
         for literal in assumptions:
-            _assign(assignment, literal)
-    except Unsatisfiable:
-        return None
-    result = _dpll(list(cnf.clauses), assignment, cnf.num_vars)
-    if result is None:
+            if not enqueue(literal):
+                return None
+        for literal in self._units:
+            if not enqueue(literal):
+                return None
+
+        qhead = 0
+        # Decision stack entries: (tried_both_polarities, trail mark).
+        stack: List[Tuple[bool, int]] = []
+        while True:
+            qhead = self._propagate(assign, trail, qhead)
+            if qhead < 0:
+                # Conflict: backtrack chronologically, flipping decisions.
+                while stack:
+                    flipped, mark = stack.pop()
+                    literal = trail[mark]
+                    for lit in trail[mark:]:
+                        del assign[abs(lit)]
+                    del trail[mark:]
+                    if not flipped:
+                        assign[abs(literal)] = literal < 0
+                        trail.append(-literal)
+                        stack.append((True, mark))
+                        qhead = mark
+                        break
+                else:
+                    return None
+                continue
+            literal = self._choose(assign)
+            if literal is None:
+                return dict(assign)
+            stack.append((False, len(trail)))
+            assign[abs(literal)] = literal > 0
+            trail.append(literal)
+
+    # -- unit propagation (two watched literals) ------------------------------
+    def _propagate(self, assign: Dict[int, bool], trail: List[int], qhead: int) -> int:
+        """Propagate to fixpoint; the new queue head, or -1 on conflict."""
+        watched = self._watched
+        watch = self._watch
+        while qhead < len(trail):
+            false_lit = -trail[qhead]
+            qhead += 1
+            watching = watch.get(false_lit)
+            if not watching:
+                continue
+            i = 0
+            while i < len(watching):
+                ci = watching[i]
+                clause = watched[ci]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                value = assign.get(abs(other))
+                if value is not None and value == (other > 0):
+                    i += 1
+                    continue  # clause already satisfied by its other watch
+                for j in range(2, len(clause)):
+                    lj = clause[j]
+                    vj = assign.get(abs(lj))
+                    if vj is None or vj == (lj > 0):
+                        clause[1], clause[j] = lj, clause[1]
+                        watch.setdefault(lj, []).append(ci)
+                        watching[i] = watching[-1]
+                        watching.pop()
+                        break
+                else:
+                    if value is not None:
+                        return -1  # both watches false: conflict
+                    assign[abs(other)] = other > 0
+                    trail.append(other)
+                    i += 1
+        return qhead
+
+    # -- branching -------------------------------------------------------------
+    def _choose(self, assign: Dict[int, bool]) -> Optional[int]:
+        """The MOMS-like heuristic of the recursive engine, unchanged.
+
+        Scans the pristine clauses in database order, skipping satisfied ones;
+        among the rest, literals in minimum-length clauses weigh 4, others 1,
+        and ties resolve to the first-counted literal — exactly the view the
+        previous implementation's ``_choose_literal`` saw, so the search visits
+        the same models in the same order.
+        """
+        open_clauses: List[List[int]] = []
+        min_len: Optional[int] = None
+        for clause in self._originals:
+            unassigned: List[int] = []
+            satisfied = False
+            for literal in clause:
+                value = assign.get(abs(literal))
+                if value is None:
+                    unassigned.append(literal)
+                elif value == (literal > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            open_clauses.append(unassigned)
+            if min_len is None or len(unassigned) < min_len:
+                min_len = len(unassigned)
+        if not open_clauses:
+            return None
+        counts: Dict[int, int] = {}
+        for unassigned in open_clauses:
+            weight = 4 if len(unassigned) == min_len else 1
+            for literal in unassigned:
+                counts[literal] = counts.get(literal, 0) + weight
+        return max(counts, key=counts.get)  # type: ignore[arg-type]
+
+
+def solve(cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+    """Return a satisfying assignment (as ``var -> bool``) or ``None``.
+
+    One-shot convenience wrapper; long-lived callers should keep a
+    :class:`SatSolver` attached to their CNF instead.
+    """
+    model = SatSolver(cnf).solve(assumptions)
+    if model is None:
         return None
     # Default unconstrained variables to False for a total assignment.
     for var in range(1, cnf.num_vars + 1):
-        result.setdefault(var, False)
-    return result
+        model.setdefault(var, False)
+    return model
 
 
 def iter_models(cnf: CNF, blocking_vars: Optional[Sequence[int]] = None) -> Iterator[Dict[int, bool]]:
-    """Enumerate models, blocking each one on ``blocking_vars`` (default: all)."""
+    """Enumerate models, blocking each one on ``blocking_vars`` (default: all).
+
+    Blocking clauses go to a private copy of the database (callers do not want
+    them persisted), but the attached solver ingests them incrementally rather
+    than re-copying per model.
+    """
     working = cnf.copy()
+    solver = SatSolver(working)
     while True:
-        model = solve(working)
+        model = solver.solve()
         if model is None:
             return
+        for var in range(1, working.num_vars + 1):
+            model.setdefault(var, False)
         yield model
         keys = blocking_vars if blocking_vars is not None else list(model.keys())
         blocking = tuple(-var if model[var] else var for var in keys)
         if not blocking:
             return
         working.add_clause(blocking)
-
-
-# ---------------------------------------------------------------------------
-# DPLL core
-# ---------------------------------------------------------------------------
-
-
-def _assign(assignment: Dict[int, bool], literal: int) -> None:
-    var = abs(literal)
-    value = literal > 0
-    if var in assignment:
-        if assignment[var] != value:
-            raise Unsatisfiable()
-        return
-    assignment[var] = value
-
-
-def _literal_value(assignment: Dict[int, bool], literal: int) -> Optional[bool]:
-    var = abs(literal)
-    if var not in assignment:
-        return None
-    value = assignment[var]
-    return value if literal > 0 else not value
-
-
-def _propagate(clauses: List[Clause], assignment: Dict[int, bool]) -> Optional[List[Clause]]:
-    """Unit propagation; returns the simplified clause list or None on conflict."""
-    changed = True
-    current = clauses
-    while changed:
-        changed = False
-        simplified: List[Clause] = []
-        for clause in current:
-            unassigned: List[int] = []
-            satisfied = False
-            for literal in clause:
-                value = _literal_value(assignment, literal)
-                if value is True:
-                    satisfied = True
-                    break
-                if value is None:
-                    unassigned.append(literal)
-            if satisfied:
-                continue
-            if not unassigned:
-                return None  # conflict
-            if len(unassigned) == 1:
-                try:
-                    _assign(assignment, unassigned[0])
-                except Unsatisfiable:
-                    return None
-                changed = True
-                continue
-            simplified.append(tuple(unassigned))
-        current = simplified
-    return current
-
-
-def _choose_literal(clauses: List[Clause]) -> int:
-    """Pick the literal with the highest occurrence count (a MOMS-like heuristic)."""
-    counts: Dict[int, int] = {}
-    best_clause = min(clauses, key=len)
-    for clause in clauses:
-        weight = 4 if len(clause) == len(best_clause) else 1
-        for literal in clause:
-            counts[literal] = counts.get(literal, 0) + weight
-    return max(counts, key=counts.get)  # type: ignore[arg-type]
-
-
-def _dpll(
-    clauses: List[Clause], assignment: Dict[int, bool], num_vars: int
-) -> Optional[Dict[int, bool]]:
-    local = dict(assignment)
-    simplified = _propagate(clauses, local)
-    if simplified is None:
-        return None
-    if not simplified:
-        return local
-    literal = _choose_literal(simplified)
-    for choice in (literal, -literal):
-        branch = dict(local)
-        try:
-            _assign(branch, choice)
-        except Unsatisfiable:
-            continue
-        result = _dpll(simplified, branch, num_vars)
-        if result is not None:
-            return result
-    return None

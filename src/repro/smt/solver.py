@@ -9,18 +9,45 @@ The solver enumerates Boolean models of the Tseitin skeleton produced by
 integer feasibility with :mod:`repro.smt.lia`.  Theory conflicts are turned
 into blocking clauses (with a greedy unsat-core minimization) until either a
 theory-consistent model is found or the skeleton becomes unsatisfiable.
+
+The pipeline is *incremental* across queries (the property the paper's
+T-NInc ablation shows to matter, Table 2):
+
+* formulas are encoded once against a persistent shared atom table
+  (:class:`repro.smt.encoder.IncrementalEncoder`) and re-solved against their
+  own clause group under an assumption, so repeated queries skip encoding and
+  keep previously learned theory lemmas;
+* theory lemmas are pooled and replayed into every encoding whose atoms they
+  mention (atoms are shared, so a lemma is a fact about the theory, not about
+  the query that discovered it);
+* validity results and satisfying models are memoized per interned formula in
+  bounded LRU caches, with hit/miss counters on :class:`SolverStats`.
+
+All caching can be disabled per solver instance (``Solver(caching=False)``)
+or globally via :func:`set_caching`; the uncached path reproduces the
+original one-shot encode/solve behaviour and is used by the regression tests
+that compare both pipelines.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.logic import terms as t
 from repro.logic.terms import Term
+from repro.smt import encoder as enc_mod
+from repro.smt import lia
 from repro.smt import sat
-from repro.smt.encoder import Encoding, MEMBER_FUNC, encode
+from repro.smt.encoder import (
+    Encoding,
+    FormulaEncoding,
+    IncrementalEncoder,
+    MEMBER_FUNC,
+    encode,
+)
 from repro.smt.lia import BudgetExceeded, check_integer_feasible
 from repro.smt.linexpr import Constraint, LinExpr
 
@@ -29,13 +56,30 @@ class SolverError(Exception):
     """Raised when a query exceeds the solver's resource budget."""
 
 
+#: Process-wide default for new Solver instances (regression-test switch).
+_CACHING_DEFAULT = True
+
+
+def set_caching(enabled: bool) -> None:
+    """Toggle caching across the whole SMT pipeline (solver, encoder, LIA).
+
+    Affects newly created :class:`Solver` instances; existing instances keep
+    the mode they were constructed with.
+    """
+    global _CACHING_DEFAULT
+    _CACHING_DEFAULT = bool(enabled)
+    enc_mod.set_caching(enabled)
+    lia.set_caching(enabled)
+
+
 @dataclass
 class Model:
     """A satisfying assignment for a refinement formula.
 
     ``ints`` maps variable names and flattened measure applications to integer
     values; ``bools`` maps opaque Boolean atoms (including grounded membership
-    atoms) to truth values.
+    atoms) to truth values.  Models may be shared between callers through the
+    solver's model cache and must be treated as read-only.
     """
 
     ints: Dict[object, int] = field(default_factory=dict)
@@ -62,43 +106,138 @@ class SolverStats:
     validity_queries: int = 0
     theory_checks: int = 0
     theory_conflicts: int = 0
+    sat_solves: int = 0
+    valid_cache_hits: int = 0
+    valid_cache_misses: int = 0
+    model_cache_hits: int = 0
+    model_cache_misses: int = 0
+    lemmas_learned: int = 0
+    lemmas_shared: int = 0
+
+    def valid_cache_hit_rate(self) -> float:
+        total = self.valid_cache_hits + self.valid_cache_misses
+        return self.valid_cache_hits / total if total else 0.0
+
+    def model_cache_hit_rate(self) -> float:
+        total = self.model_cache_hits + self.model_cache_misses
+        return self.model_cache_hits / total if total else 0.0
 
 
 class Solver:
     """Satisfiability and validity checking for refinement formulas."""
 
-    def __init__(self, max_theory_iterations: int = 2000) -> None:
+    def __init__(
+        self,
+        max_theory_iterations: int = 2000,
+        caching: Optional[bool] = None,
+        valid_cache_size: int = 8192,
+        model_cache_size: int = 8192,
+        share_lemmas: bool = True,
+    ) -> None:
         self.max_theory_iterations = max_theory_iterations
         self.stats = SolverStats()
-        self._valid_cache: Dict[Term, bool] = {}
+        self.caching = _CACHING_DEFAULT if caching is None else bool(caching)
+        self.share_lemmas = share_lemmas
+        self._valid_cache: "OrderedDict[Term, bool]" = OrderedDict()
+        self._valid_cache_size = valid_cache_size
+        self._model_cache: "OrderedDict[Term, Optional[Model]]" = OrderedDict()
+        self._model_cache_size = model_cache_size
+        self._encoder = IncrementalEncoder()
+        self._lemma_pool: List[sat.Clause] = []
 
     # -- public API -------------------------------------------------------
     def check_sat(self, formula: Term) -> Optional[Model]:
         """Return a model of ``formula`` or ``None`` when unsatisfiable."""
         self.stats.sat_queries += 1
-        encoding = encode(formula)
+        if not self.caching:
+            encoding = encode(formula, use_cache=False)
+            if encoding.trivial is not None:
+                return Model() if encoding.trivial else None
+            return self._solve(self._adapt(encoding), share=False)
+        cached = self._model_cache.get(formula, _MISSING)
+        if cached is not _MISSING:
+            self._model_cache.move_to_end(formula)
+            self.stats.model_cache_hits += 1
+            return cached
+        self.stats.model_cache_misses += 1
+        encoding = self._encoder.encode(formula)
         if encoding.trivial is not None:
-            return Model() if encoding.trivial else None
-        return self._solve(encoding)
+            result: Optional[Model] = Model() if encoding.trivial else None
+        else:
+            result = self._solve(encoding, share=self.share_lemmas)
+        self._model_cache[formula] = result
+        if len(self._model_cache) > self._model_cache_size:
+            self._model_cache.popitem(last=False)
+        return result
 
     def check_valid(self, formula: Term) -> bool:
         """Whether ``formula`` holds in all models (validity checking, App. B)."""
-        if formula in self._valid_cache:
-            return self._valid_cache[formula]
+        if self.caching:
+            cached = self._valid_cache.get(formula)
+            if cached is not None:
+                self._valid_cache.move_to_end(formula)
+                self.stats.valid_cache_hits += 1
+                return cached
+            self.stats.valid_cache_misses += 1
         self.stats.validity_queries += 1
         result = self.check_sat(t.neg(formula)) is None
-        self._valid_cache[formula] = result
+        if self.caching:
+            self._valid_cache[formula] = result
+            if len(self._valid_cache) > self._valid_cache_size:
+                self._valid_cache.popitem(last=False)
         return result
 
     def check_implication(self, antecedent: Term, consequent: Term) -> bool:
-        """Validity of ``antecedent ==> consequent``."""
+        """Validity of ``antecedent ==> consequent``.
+
+        Implications are interned terms, so the validity LRU keyed on the
+        combined formula doubles as the implication cache.
+        """
         return self.check_valid(t.implies(antecedent, consequent))
 
+    def cache_report(self) -> Dict[str, float]:
+        """Query counts and hit rates of every cache layer (for harnesses)."""
+        report: Dict[str, float] = {
+            "sat_queries": self.stats.sat_queries,
+            "validity_queries": self.stats.validity_queries,
+            "theory_checks": self.stats.theory_checks,
+            "theory_conflicts": self.stats.theory_conflicts,
+            "sat_solves": self.stats.sat_solves,
+            "valid_cache_hit_rate": round(self.stats.valid_cache_hit_rate(), 4),
+            "model_cache_hit_rate": round(self.stats.model_cache_hit_rate(), 4),
+            "encode_cache_hit_rate": round(self._encoder.stats.encode_hit_rate(), 4),
+            "lemmas_learned": self.stats.lemmas_learned,
+            "lemmas_shared": self.stats.lemmas_shared,
+        }
+        return report
+
     # -- DPLL(T) loop -------------------------------------------------------
-    def _solve(self, encoding: Encoding) -> Optional[Model]:
-        cnf = encoding.cnf
+    @staticmethod
+    def _adapt(encoding: Encoding) -> FormulaEncoding:
+        """Wrap a one-shot :class:`Encoding` for the shared solve loop.
+
+        The root is already asserted as a unit clause inside ``encoding.cnf``,
+        so the assumption literal is 0 (none).
+        """
+        return FormulaEncoding(
+            0,
+            encoding.cnf,
+            encoding.linear_atoms,
+            encoding.bool_atoms,
+            frozenset(encoding.linear_atoms) | frozenset(encoding.bool_atoms),
+        )
+
+    def _solve(self, encoding: FormulaEncoding, share: bool) -> Optional[Model]:
+        if encoding.sat is None:
+            encoding.sat = sat.SatSolver(encoding.cnf)
+        sat_solver = encoding.sat
+        assert isinstance(sat_solver, sat.SatSolver)
+        if share:
+            self._sync_lemmas(encoding)
+        assumptions = (encoding.root,) if encoding.root else ()
         for _ in range(self.max_theory_iterations):
-            assignment = sat.solve(cnf)
+            self.stats.sat_solves += 1
+            assignment = sat_solver.solve(assumptions)
             if assignment is None:
                 return None
             literals = self._theory_literals(encoding, assignment)
@@ -112,24 +251,41 @@ class Solver:
                 return self._build_model(encoding, assignment, result.model or {})
             self.stats.theory_conflicts += 1
             core = self._minimize_core(literals)
-            cnf.add_clause(tuple(-var if positive else var for (var, positive), _ in core))
+            clause = tuple(-var if positive else var for (var, positive), _ in core)
+            encoding.cnf.add_clause(clause)
+            self.stats.lemmas_learned += 1
+            if share:
+                encoding.lemma_seen.add(clause)
+                self._lemma_pool.append(clause)
         raise SolverError("exceeded theory iteration budget")
 
+    def _sync_lemmas(self, encoding: FormulaEncoding) -> None:
+        """Replay pooled theory lemmas whose atoms this encoding mentions."""
+        pool = self._lemma_pool
+        atom_vars = encoding.atom_vars
+        while encoding.lemma_pos < len(pool):
+            clause = pool[encoding.lemma_pos]
+            encoding.lemma_pos += 1
+            if clause in encoding.lemma_seen:
+                continue
+            if all(abs(literal) in atom_vars for literal in clause):
+                encoding.cnf.add_clause(clause)
+                encoding.lemma_seen.add(clause)
+                self.stats.lemmas_shared += 1
+
     def _theory_literals(
-        self, encoding: Encoding, assignment: Dict[int, bool]
+        self, encoding: FormulaEncoding, assignment: Dict[int, bool]
     ) -> List[Tuple[Tuple[int, bool], LinExpr]]:
         """Linear constraints asserted by a Boolean assignment.
 
         A positive linear atom ``expr <= 0`` contributes ``expr <= 0``;
         a negated one contributes ``-expr + 1 <= 0`` (i.e. ``expr >= 1``),
-        which is the exact negation over the integers.
+        which is the exact negation over the integers.  Atoms the SAT search
+        left unassigned default to False, as in a total assignment.
         """
         literals: List[Tuple[Tuple[int, bool], LinExpr]] = []
         for var, expr in encoding.linear_atoms.items():
-            value = assignment.get(var)
-            if value is None:
-                continue
-            if value:
+            if assignment.get(var, False):
                 literals.append(((var, True), expr))
             else:
                 literals.append(((var, False), (-expr) + LinExpr.const(1)))
@@ -158,7 +314,7 @@ class Solver:
 
     def _build_model(
         self,
-        encoding: Encoding,
+        encoding: FormulaEncoding,
         assignment: Dict[int, bool],
         int_model: Dict[object, int],
     ) -> Model:
@@ -167,6 +323,10 @@ class Solver:
         for var, atom in encoding.bool_atoms.items():
             model.bools[atom] = assignment.get(var, False)
         return model
+
+
+#: Sentinel distinguishing "cached None" from "not cached" in the model cache.
+_MISSING = object()
 
 
 #: A module-level default solver, shared by code that does not need

@@ -310,22 +310,27 @@ def substitute_in_type(rtype: Type, mapping: Dict[str, Term]) -> Type:
             return rtype
         base = rtype.base
         if isinstance(base, ListBase):
-            base = ListBase(substitute_in_type(base.elem, clean), base.sorted)  # type: ignore[arg-type]
+            new_elem = substitute_in_type(base.elem, clean)
+            if new_elem is not base.elem:
+                base = ListBase(new_elem, base.sorted)  # type: ignore[arg-type]
         elif isinstance(base, TreeBase):
-            base = TreeBase(substitute_in_type(base.elem, clean))  # type: ignore[arg-type]
-        return RType(
-            base,
-            t.substitute(rtype.refinement, clean),
-            t.substitute(rtype.potential, clean),
-        )
+            new_elem = substitute_in_type(base.elem, clean)
+            if new_elem is not base.elem:
+                base = TreeBase(new_elem)  # type: ignore[arg-type]
+        refinement = t.substitute(rtype.refinement, clean)
+        potential = t.substitute(rtype.potential, clean)
+        # Terms are interned, so unchanged substitutions return the same
+        # objects and the whole type can be reused without reallocation.
+        if base is rtype.base and refinement is rtype.refinement and potential is rtype.potential:
+            return rtype
+        return RType(base, refinement, potential)
     if isinstance(rtype, ArrowType):
         clean = {k: v for k, v in mapping.items() if k != rtype.param}
-        return ArrowType(
-            rtype.param,
-            substitute_in_type(rtype.param_type, mapping),
-            substitute_in_type(rtype.result, clean),
-            rtype.cost,
-        )
+        param_type = substitute_in_type(rtype.param_type, mapping)
+        result = substitute_in_type(rtype.result, clean)
+        if param_type is rtype.param_type and result is rtype.result:
+            return rtype
+        return ArrowType(rtype.param, param_type, result, rtype.cost)
     raise TypeError(f"not a type: {rtype!r}")
 
 

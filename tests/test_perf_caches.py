@@ -1,0 +1,220 @@
+"""Tests for the hash-consed term layer and the incremental SMT pipeline.
+
+Covers the invariants the caching subsystem relies on:
+
+* interning: structural equality implies object identity, hashes are stable
+  and cached, and operator-overload construction routes through the tables;
+* substitution: memoization does not break capture avoidance under the
+  ``SetAll`` binder, and no-op substitutions return the original object;
+* the solver's bounded LRU validity cache and its hit/miss counters;
+* end-to-end regression: the cached and uncached pipelines synthesize
+  *identical* programs on the fast Table 1 subset.
+"""
+
+import pytest
+
+from repro.logic import terms as t
+from repro.logic.simplify import simplify
+from repro.smt import lia
+from repro.smt import solver as solver_mod
+from repro.smt.solver import Solver
+
+x = t.int_var("x")
+y = t.int_var("y")
+xs = t.data_var("xs")
+
+
+class TestInterning:
+    def test_equality_implies_identity(self):
+        a = (x + y) * 2
+        b = (x + y) * 2
+        assert a == b
+        assert a is b
+
+    def test_identity_across_construction_paths(self):
+        direct = t.Add(x, t.IntConst(3))
+        overloaded = x + 3
+        assert direct is overloaded
+
+    def test_distinct_terms_stay_distinct(self):
+        assert (x + y) is not (y + x)
+        assert t.Var("x", t.INT) is not t.Var("x", t.BOOL)
+
+    def test_hash_stability_and_caching(self):
+        term = t.conj(x < y, t.SetMember(x, t.elems(xs)))
+        first = hash(term)
+        assert hash(term) == first
+        assert term.__dict__.get("_hash") == first
+        # A structurally equal term is the same object, hence the same hash.
+        again = t.conj(x < y, t.SetMember(x, t.elems(xs)))
+        assert again is term
+
+    def test_nested_sharing(self):
+        shared = x + y
+        left = shared < 3
+        right = (x + y) < 3
+        assert left is right
+        assert left.left is shared
+
+    def test_free_vars_cached_on_node(self):
+        term = t.conj(x < y, t.SetMember(x, t.elems(xs)))
+        assert t.free_vars(term) == {"x", "y", "xs"}
+        assert term.__dict__.get("_free_vars") == frozenset({"x", "y", "xs"})
+
+    def test_node_size(self):
+        assert t.node_size(x) == 1
+        assert t.node_size(x + y) == 3
+        # Cached on the node after the first call.
+        term = (x + y) * 2
+        assert t.node_size(term) == 5
+        assert term.__dict__.get("_node_size") == 5
+
+    def test_interning_toggle(self):
+        t.set_interning(False)
+        try:
+            a = x + t.IntConst(41)
+            b = x + t.IntConst(41)
+            assert a == b  # structural equality still holds
+            assert a is not b  # but no interning
+        finally:
+            t.set_interning(True)
+
+    def test_simplify_memoized_and_idempotent(self):
+        term = (x + 0) + (t.IntConst(2) + t.IntConst(3))
+        once = simplify(term)
+        assert simplify(term) is once
+        assert simplify(once) is once
+
+
+class TestSubstitutionCaching:
+    def test_noop_substitution_returns_same_object(self):
+        term = t.conj(x < y, x.eq(0))
+        assert t.substitute(term, {}) is term
+        assert t.substitute(term, {"z": t.IntConst(1)}) is term
+
+    def test_memoized_substitution_is_consistent(self):
+        term = (x + y) < (x * 2)
+        mapping = {"x": t.IntConst(5)}
+        first = t.substitute(term, mapping)
+        second = t.substitute(term, mapping)
+        assert first is second
+        assert first == ((t.IntConst(5) + y) < (t.IntConst(5) * 2))
+
+    def test_setall_binder_shadows_mapping(self):
+        e = t.int_var("e")
+        body = e > x
+        term = t.SetAll("e", t.elems(xs), body)
+        result = t.substitute(term, {"e": t.IntConst(9), "x": t.IntConst(1)})
+        assert isinstance(result, t.SetAll)
+        # The bound occurrence of e is untouched; x is replaced in the body.
+        assert result.body == (e > t.IntConst(1))
+        assert t.free_vars(result.body) == {"e"}
+
+    def test_setall_set_term_is_substituted(self):
+        e = t.int_var("e")
+        term = t.SetAll("e", t.elems(t.data_var("ys")), e > x)
+        result = t.substitute(term, {"ys": t.data_var("zs")})
+        assert result.set_term == t.elems(t.data_var("zs"))
+
+    def test_substitution_of_untouched_subtree_preserves_identity(self):
+        untouched = y + 1
+        term = t.conj(x.eq(0), untouched > 0)
+        result = t.substitute(term, {"x": t.IntConst(7)})
+        # The y-subtree mentions no substituted variable: reused as-is.
+        assert result.args[1] is (untouched > 0)
+
+
+class TestValidCacheLRU:
+    def test_hit_and_miss_counters(self):
+        solver = Solver()
+        formula = t.implies(x >= 0, x + 1 >= 1)
+        assert solver.check_valid(formula)
+        assert solver.stats.valid_cache_misses == 1
+        assert solver.check_valid(formula)
+        assert solver.stats.valid_cache_hits == 1
+        assert solver.stats.valid_cache_hit_rate() == pytest.approx(0.5)
+
+    def test_lru_bound_is_enforced(self):
+        solver = Solver(valid_cache_size=4)
+        formulas = [t.implies(x >= i, x >= i - 1) for i in range(10)]
+        for formula in formulas:
+            solver.check_valid(formula)
+        assert len(solver._valid_cache) <= 4
+        # The oldest entries were evicted; re-checking is a miss again.
+        misses = solver.stats.valid_cache_misses
+        solver.check_valid(formulas[0])
+        assert solver.stats.valid_cache_misses == misses + 1
+
+    def test_validity_unaffected_by_caching_mode(self):
+        valid = t.implies(t.conj(x >= 0, y >= x), y >= 0)
+        invalid = t.implies(x >= 0, x >= 1)
+        cached = Solver(caching=True)
+        uncached = Solver(caching=False)
+        for formula in (valid, invalid):
+            assert cached.check_valid(formula) == uncached.check_valid(formula)
+        assert cached.check_valid(valid)
+        assert not cached.check_valid(invalid)
+
+    def test_cache_report_shape(self):
+        solver = Solver()
+        solver.check_valid(t.implies(x >= 0, x >= 0))
+        report = solver.cache_report()
+        for key in ("sat_queries", "valid_cache_hit_rate", "encode_cache_hit_rate", "lemmas_learned"):
+            assert key in report
+
+
+class TestPipelineRegression:
+    """Cached and uncached pipelines must synthesize identical programs."""
+
+    @pytest.fixture()
+    def fast_benchmarks(self):
+        from repro.benchsuite.runner import selected_benchmarks
+
+        return selected_benchmarks("table1")
+
+    def test_cache_disabled_paths_synthesize_identical_programs(self, fast_benchmarks):
+        from repro.core import synthesize
+
+        def run_all():
+            results = {}
+            for bench in fast_benchmarks:
+                result = synthesize(bench.goal, bench.configs()["resyn"])
+                assert result.succeeded, f"{bench.key} failed to synthesize"
+                results[bench.key] = str(result.program)
+            return results
+
+        with_caches = run_all()
+        solver_mod.set_caching(False)
+        t.set_interning(False)
+        try:
+            without_caches = run_all()
+        finally:
+            solver_mod.set_caching(True)
+            t.set_interning(True)
+        assert with_caches == without_caches
+
+    def test_stats_threaded_through_result(self, fast_benchmarks):
+        from repro.core import synthesize
+
+        bench = fast_benchmarks[0]
+        result = synthesize(bench.goal, bench.configs()["resyn"])
+        assert result.succeeded
+        assert "valid_cache_hit_rate" in result.stats
+        assert "lia_queries" in result.stats
+        assert result.stats["sat_queries"] >= 1
+
+
+class TestLiaCache:
+    def test_feasibility_cache_counts(self):
+        from repro.smt.linexpr import Constraint, LinExpr
+
+        lia.clear_cache()
+        queries_before = lia.stats.queries
+        hits_before = lia.stats.cache_hits
+        constraints = [Constraint(LinExpr.var("q") - LinExpr.const(3))]
+        first = lia.check_integer_feasible(constraints)
+        second = lia.check_integer_feasible(constraints)
+        assert first.satisfiable and second.satisfiable
+        assert second.model == first.model
+        assert lia.stats.queries == queries_before + 2
+        assert lia.stats.cache_hits == hits_before + 1
