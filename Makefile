@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench-table1 bench-table2
+.PHONY: test bench-quick check-regression bench-table1 bench-table2
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
@@ -15,6 +15,13 @@ test:
 ## at the repository root (tracked across PRs).
 bench-quick:
 	$(PYTHON) benchmarks/bench_quick.py
+
+## Regenerate the quick benchmark into a scratch file and compare against the
+## committed baseline (fails on program drift or >25% wall-clock regression).
+## This is what CI runs; see .github/workflows/ci.yml.
+check-regression:
+	$(PYTHON) benchmarks/bench_quick.py /tmp/bench_fresh.json
+	$(PYTHON) benchmarks/check_regression.py BENCH_synthesis.json /tmp/bench_fresh.json
 
 ## Reproduce the paper tables on the fast subsets (REPRO_FULL=1 for all rows).
 bench-table1:

@@ -12,6 +12,15 @@ For every (benchmark, mode) pair the report records
 * cache hit rates of the term/encoding/SAT/LIA caches (when the running
   version of the code exposes them via ``SynthesisResult.stats``).
 
+The report also carries a top-level ``counters`` block aggregating the
+integer-LIA-core and VSIDS metrics across all rows (scaling cache traffic,
+Fourier-Motzkin eliminations and tightenings, unsat-core counts/sizes/probes,
+SAT decisions/conflicts/bumps and learned-clause deletions) so the perf
+trajectory of the solver internals is tracked alongside wall-clock.
+
+``benchmarks/check_regression.py`` compares a fresh report against the
+committed one (CI fails on >25% wall-clock regression or any program drift).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_quick.py [output.json]
@@ -36,10 +45,30 @@ from repro.core import synthesize  # noqa: E402
 
 MODES = ("resyn", "synquid")
 
+#: Process-wide counters aggregated into the report's ``counters`` block.
+AGGREGATED_COUNTERS = (
+    "scaling_queries",
+    "scaling_cache_hits",
+    "lia_queries",
+    "lia_cache_hits",
+    "lia_eliminations",
+    "lia_tightenings",
+    "lia_cores",
+    "lia_core_size_total",
+    "lia_core_probes",
+    "sat_decisions",
+    "sat_propagations",
+    "sat_conflicts",
+    "sat_var_bumps",
+    "sat_learned_clauses",
+    "sat_deleted_clauses",
+)
+
 
 def run_quick() -> dict:
     rows = []
     total = 0.0
+    counters = {key: 0 for key in AGGREGATED_COUNTERS}
     for bench in selected_benchmarks("table1"):
         configs = bench.configs()
         for mode in MODES:
@@ -61,12 +90,16 @@ def run_quick() -> dict:
                     "stats": dict(getattr(result, "stats", {}) or {}),
                 }
             )
+            stats = rows[-1]["stats"]
+            for key in AGGREGATED_COUNTERS:
+                counters[key] += int(stats.get(key, 0))
     return {
         "suite": "table1-fast",
         "modes": list(MODES),
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "total_seconds": round(total, 4),
+        "counters": counters,
         "rows": rows,
     }
 

@@ -1,0 +1,134 @@
+"""Regression guard for the quick synthesis benchmark.
+
+Compares a freshly generated ``BENCH_synthesis.json`` against a baseline
+report and fails (exit code 1) when
+
+* any synthesized program differs from the baseline — byte-identity is the
+  strongest regression signal the suite has: the search is deterministic
+  and verdict-driven, so programs are machine-independent;
+* any deterministic solver counter (the report's ``counters`` block:
+  LIA queries/eliminations/cores, SAT decisions/conflicts, ...) drifts by
+  more than the counter tolerance — these are also machine-independent, so
+  they catch algorithmic perf regressions that wall-clock noise would hide;
+* total wall-clock exceeds the baseline by more than the timing tolerance
+  (default 25%).
+
+**Wall-clock is only meaningful against a baseline measured on the same
+machine.** CI therefore regenerates the baseline from the PR's base commit
+on the same runner before applying the 25% guard (see
+``.github/workflows/ci.yml``); comparing against the committed JSON from a
+different machine should use ``--no-timing`` (program identity and counters
+only).
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json FRESH.json \
+        [--tolerance 1.25] [--counter-tolerance 1.25] [--no-timing]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_programs(report: dict) -> dict:
+    return {
+        (row["benchmark"], row["mode"]): row["program"] for row in report["rows"]
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH_synthesis.json")
+    parser.add_argument("fresh", help="freshly generated report to validate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        help="allowed total wall-clock ratio fresh/baseline (default 1.25)",
+    )
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=1.25,
+        help="allowed ratio for each deterministic solver counter (default 1.25)",
+    )
+    parser.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="skip the wall-clock check (baseline from a different machine)",
+    )
+    parser.add_argument(
+        "--no-counters",
+        action="store_true",
+        help="skip the counter check (e.g. vs a rebuilt merge-base baseline, "
+        "where intentional counter changes are already vetted against the "
+        "committed report)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    failures = []
+
+    base_programs = load_programs(baseline)
+    fresh_programs = load_programs(fresh)
+    for key, program in sorted(base_programs.items(), key=str):
+        if key not in fresh_programs:
+            failures.append(f"missing row {key}")
+        elif fresh_programs[key] != program:
+            failures.append(
+                f"program drift in {key}:\n  baseline: {program}\n  fresh:    {fresh_programs[key]}"
+            )
+
+    # Deterministic counters: identical code must produce identical counts, so
+    # any growth past the tolerance is an algorithmic regression regardless of
+    # what machine either report was generated on.  Older baselines (pre-PR 3)
+    # have no counters block; skip silently in that case.
+    base_counters = {} if args.no_counters else (baseline.get("counters") or {})
+    fresh_counters = fresh.get("counters") or {}
+    for name in sorted(base_counters):
+        base_value = base_counters[name]
+        fresh_value = fresh_counters.get(name)
+        if fresh_value is None:
+            failures.append(f"counter {name} missing from fresh report")
+        elif fresh_value > base_value * args.counter_tolerance + 1:
+            failures.append(
+                f"counter regression: {name} {base_value} -> {fresh_value} "
+                f"(tolerance {args.counter_tolerance:.2f}x)"
+            )
+
+    if not args.no_timing:
+        base_total = float(baseline["total_seconds"])
+        fresh_total = float(fresh["total_seconds"])
+        ratio = fresh_total / base_total if base_total else float("inf")
+        print(
+            f"wall-clock: baseline {base_total:.3f}s, fresh {fresh_total:.3f}s "
+            f"(ratio {ratio:.2f}, tolerance {args.tolerance:.2f})"
+        )
+        if ratio > args.tolerance:
+            failures.append(
+                f"wall-clock regression: {fresh_total:.3f}s > "
+                f"{args.tolerance:.2f} * {base_total:.3f}s"
+            )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    checks = "programs identical"
+    if not args.no_counters:
+        checks += ", counters within tolerance"
+    if not args.no_timing:
+        checks += ", wall-clock within tolerance"
+    print(f"regression guard OK: {checks}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,19 @@ demands become resource constraints handled by the incremental CEGIS solver,
 and any violation prunes the whole subtree of the search — this is the
 round-trip, resource-guided pruning that distinguishes ReSyn from the naive
 enumerate-and-check combination (Sec. 2.4, Table 2 column T-EAC).
+
+Two invariants the engine relies on:
+
+* the search is *verdict-driven*: candidates are enumerated in a fixed,
+  deterministic order and accepted or rejected purely on boolean answers
+  from the checker/solver stack, never on which model a solver happens to
+  return first — so solver-internal changes (SAT branching order, LIA
+  sample choice) cannot change the synthesized program, and the benchmark
+  harness asserts programs byte-for-byte across PRs;
+* formulas handed to the solver are *interned terms*
+  (:mod:`repro.logic.terms`), which is what makes the solver's per-formula
+  caches and the shared theory-atom table of the incremental encoder sound
+  and cheap (structural equality is pointer equality).
 """
 
 from __future__ import annotations
@@ -34,8 +47,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.goals import SynthesisGoal, SynthesisResult
 from repro.lang import syntax as s
 from repro.logic import terms as t
-from repro.smt import lia
-from repro.smt.solver import Solver
+from repro.smt.solver import Solver, theory_counters
 from repro.typing.checker import CheckerConfig, TypeChecker
 from repro.typing.context import Context
 from repro.typing.types import (
@@ -107,8 +119,7 @@ class Synthesizer:
         start = time.perf_counter()
         if self.config.timeout is not None:
             self._deadline = start + self.config.timeout
-        lia_queries_before = lia.stats.queries
-        lia_hits_before = lia.stats.cache_hits
+        counters_before = theory_counters()
         program: Optional[s.Fix] = None
         try:
             if self.config.enumerate_and_check:
@@ -126,19 +137,29 @@ class Synthesizer:
             resource_rejections=self.checker.stats.resource_rejections,
             functional_rejections=self.checker.stats.functional_rejections,
             cegis_counterexamples=self.cegis.stats.counterexamples,
-            stats=self._collect_stats(lia_queries_before, lia_hits_before),
+            stats=self._collect_stats(counters_before),
         )
 
-    def _collect_stats(self, lia_queries_before: int, lia_hits_before: int) -> Dict[str, float]:
+    def _collect_stats(self, counters_before: Dict[str, float]) -> Dict[str, float]:
         """Aggregate query counts and cache hit rates from every layer.
 
         The solver/encoder/CEGIS stats are per-instance and therefore per-run;
-        the LIA feasibility cache is process-wide, so its counters are
-        reported as deltas over this run.
+        the LIA/SAT/scaling counters are process-wide (see
+        :func:`repro.smt.solver.theory_counters`), so they are reported as
+        deltas over this run: feasibility-cache traffic, Fourier-Motzkin
+        eliminations/tightenings, unsat-core counts and average size, and the
+        SAT engine's decisions/conflicts/VSIDS bumps/learned-clause churn.
         """
         report = self.solver.cache_report()
-        lia_queries = lia.stats.queries - lia_queries_before
-        lia_hits = lia.stats.cache_hits - lia_hits_before
+        deltas = {
+            key: value - counters_before.get(key, 0)
+            for key, value in theory_counters().items()
+        }
+        report.update(deltas)
+        lia_queries = deltas["lia_queries"]
+        lia_hits = deltas["lia_cache_hits"]
+        scaling_queries = deltas["scaling_queries"]
+        cores = deltas["lia_cores"]
         report.update(
             {
                 "eterm_checks": self.checker.stats.eterm_checks,
@@ -147,9 +168,13 @@ class Synthesizer:
                 "cegis_verification_queries": self.cegis.stats.verification_queries,
                 "cegis_synthesis_queries": self.cegis.stats.synthesis_queries,
                 "cegis_grounding_hit_rate": round(self.cegis.stats.grounding_hit_rate(), 4),
-                "lia_queries": lia_queries,
-                "lia_cache_hits": lia_hits,
                 "lia_cache_hit_rate": round(lia_hits / lia_queries, 4) if lia_queries else 0.0,
+                "scaling_cache_hit_rate": round(
+                    deltas["scaling_cache_hits"] / scaling_queries, 4
+                ) if scaling_queries else 0.0,
+                "lia_avg_core_size": round(
+                    deltas["lia_core_size_total"] / cores, 4
+                ) if cores else 0.0,
             }
         )
         return report

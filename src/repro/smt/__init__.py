@@ -6,10 +6,20 @@ implementation; see DESIGN.md for the substitution rationale.
 
 from repro.smt.encoder import EncodingError, encode, linearize
 from repro.smt.lia import BudgetExceeded, LIAResult, check_integer_feasible, check_rational_feasible
-from repro.smt.linexpr import Constraint, LinExpr
-from repro.smt.solver import Model, Solver, SolverError, check_sat, check_valid, default_solver
+from repro.smt.linexpr import Constraint, LinExpr, int_form
+from repro.smt.solver import (
+    Model,
+    Solver,
+    SolverError,
+    check_sat,
+    check_valid,
+    default_solver,
+    theory_counters,
+)
 
 __all__ = [
+    "int_form",
+    "theory_counters",
     "EncodingError",
     "encode",
     "linearize",

@@ -1,0 +1,186 @@
+"""Reference Fraction-based LIA decision procedure (pre-integer-core).
+
+This module preserves the original exact-:class:`fractions.Fraction`
+Fourier–Motzkin implementation that :mod:`repro.smt.lia` replaced with the
+integer-scaled engine.  It exists purely as a *test oracle*: the property
+tests in ``tests/test_lia_core.py`` run randomized small systems through both
+engines and assert that the sat/unsat verdicts agree and that returned models
+actually satisfy the constraints.
+
+It is deliberately unoptimized and uncached — do not call it from the
+synthesis pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from repro.smt.lia import BudgetExceeded, LIAResult
+from repro.smt.linexpr import Constraint, Key, LinExpr
+
+
+def check_integer_feasible_reference(
+    constraints: Sequence[Constraint],
+    budget: int = 4000,
+    depth: int = 40,
+) -> LIAResult:
+    """Decide integer feasibility with the original Fraction-based engine."""
+    variables = sorted({v for c in constraints for v in c.expr.variables}, key=repr)
+    exprs = [c.expr for c in constraints]
+    model = _solve_integer(exprs, variables, budget, depth)
+    if model is None:
+        return LIAResult(False, None)
+    return LIAResult(True, model)
+
+
+def check_rational_feasible_reference(
+    constraints: Sequence[Constraint], budget: int = 4000
+) -> bool:
+    """Decide rational feasibility with the original Fraction-based engine."""
+    variables = sorted({v for c in constraints for v in c.expr.variables}, key=repr)
+    sample = _solve_rational([c.expr for c in constraints], variables, budget)
+    return sample is not None
+
+
+# ---------------------------------------------------------------------------
+# Integer feasibility: branch and bound over the rational relaxation
+# ---------------------------------------------------------------------------
+
+
+def _solve_integer(
+    exprs: List[LinExpr],
+    variables: Sequence[Key],
+    budget: int,
+    depth: int,
+) -> Optional[Dict[Key, int]]:
+    if depth <= 0:
+        return None
+    sample = _solve_rational(exprs, variables, budget)
+    if sample is None:
+        return None
+    fractional = [(v, val) for v, val in sample.items() if val.denominator != 1]
+    if not fractional:
+        return {v: int(val) for v, val in sample.items()}
+    var, value = fractional[0]
+    floor_value = Fraction(math.floor(value))
+    ceil_value = floor_value + 1
+    below = exprs + [LinExpr.var(var) - LinExpr.const(floor_value)]
+    result = _solve_integer(below, variables, budget, depth - 1)
+    if result is not None:
+        return result
+    above = exprs + [LinExpr.const(ceil_value) - LinExpr.var(var)]
+    return _solve_integer(above, variables, budget, depth - 1)
+
+
+# ---------------------------------------------------------------------------
+# Rational feasibility: Fourier–Motzkin elimination over Fractions
+# ---------------------------------------------------------------------------
+
+
+def _solve_rational(
+    exprs: Sequence[LinExpr],
+    variables: Sequence[Key],
+    budget: int,
+) -> Optional[Dict[Key, Fraction]]:
+    """Return a rational sample point satisfying ``expr <= 0`` for all exprs."""
+    normalized = _prune(list(exprs))
+    if normalized is None:
+        return None
+    systems: List[List[LinExpr]] = [normalized]
+    order = list(variables)
+    for var in order:
+        eliminated = _eliminate(systems[-1], var, budget)
+        if eliminated is None:
+            return None
+        systems.append(eliminated)
+    for expr in systems[-1]:
+        if expr.constant > 0:
+            return None
+    assignment: Dict[Key, Fraction] = {}
+    for index in range(len(order) - 1, -1, -1):
+        var = order[index]
+        value = _choose_value(systems[index], var, assignment)
+        if value is None:
+            return None
+        assignment[var] = value
+    return assignment
+
+
+def _eliminate(exprs: List[LinExpr], var: Key, budget: int) -> Optional[List[LinExpr]]:
+    lower: List[LinExpr] = []
+    upper: List[LinExpr] = []
+    rest: List[LinExpr] = []
+    for expr in exprs:
+        coeff = expr.coefficient(var)
+        if coeff == 0:
+            rest.append(expr)
+        elif coeff > 0:
+            upper.append(expr)
+        else:
+            lower.append(expr)
+    for low in lower:
+        for up in upper:
+            coeff_low = -low.coefficient(var)
+            coeff_up = up.coefficient(var)
+            combined = low * coeff_up + up * coeff_low
+            combined = combined.substitute({var: Fraction(0)})
+            rest.append(combined)
+    pruned = _prune(rest)
+    if pruned is None:
+        return None
+    if len(pruned) > budget:
+        raise BudgetExceeded(f"Fourier-Motzkin produced {len(pruned)} constraints")
+    return pruned
+
+
+def _prune(exprs: List[LinExpr]) -> Optional[List[LinExpr]]:
+    seen = set()
+    result: List[LinExpr] = []
+    for expr in exprs:
+        if expr.is_constant():
+            if expr.constant > 0:
+                return None
+            continue
+        key = (expr.coeffs, expr.constant)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(expr)
+    return result
+
+
+def _choose_value(
+    system: List[LinExpr],
+    var: Key,
+    assignment: Dict[Key, Fraction],
+) -> Optional[Fraction]:
+    lower_bound: Optional[Fraction] = None
+    upper_bound: Optional[Fraction] = None
+    for expr in system:
+        coeff = expr.coefficient(var)
+        if coeff == 0:
+            continue
+        partial = expr.substitute(assignment)
+        remaining_vars = [v for v in partial.variables if v != var]
+        if remaining_vars:
+            continue
+        bound = -partial.constant / coeff
+        if coeff > 0:
+            upper_bound = bound if upper_bound is None else min(upper_bound, bound)
+        else:
+            lower_bound = bound if lower_bound is None else max(lower_bound, bound)
+    if lower_bound is not None and upper_bound is not None and lower_bound > upper_bound:
+        return None
+    if lower_bound is None and upper_bound is None:
+        return Fraction(0)
+    if lower_bound is None:
+        assert upper_bound is not None
+        return min(Fraction(0), Fraction(math.floor(upper_bound)))
+    if upper_bound is None:
+        return max(Fraction(0), Fraction(math.ceil(lower_bound)))
+    low_int = Fraction(math.ceil(lower_bound))
+    if low_int <= upper_bound:
+        return max(low_int, min(Fraction(0), Fraction(math.floor(upper_bound))))
+    return lower_bound

@@ -12,6 +12,7 @@ flattened measure applications.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Hashable, Iterable, Mapping, Tuple
@@ -20,9 +21,33 @@ from typing import Dict, Hashable, Iterable, Mapping, Tuple
 Key = Hashable
 
 
+#: Cached canonical sort key per variable key.  Keys are strings or interned
+#: refinement terms; ``repr`` on a term rebuilds its string every call, and
+#: the encoder normalizes thousands of comparisons per query, so the memo
+#: turns the canonical ordering into a dictionary lookup.
+_KEY_ORDER_CACHE: Dict[Key, str] = {}
+_KEY_ORDER_CACHE_MAX = 1 << 16
+
+
+def _key_order(key: Key) -> str:
+    order = _KEY_ORDER_CACHE.get(key)
+    if order is None:
+        order = repr(key)
+        if len(_KEY_ORDER_CACHE) >= _KEY_ORDER_CACHE_MAX:
+            _KEY_ORDER_CACHE.clear()
+        _KEY_ORDER_CACHE[key] = order
+    return order
+
+
 @dataclass(frozen=True)
 class LinExpr:
-    """An affine expression ``constant + sum(coeffs[k] * k)``."""
+    """An affine expression ``constant + sum(coeffs[k] * k)``.
+
+    Invariant: ``coeffs`` is sorted by the canonical key order
+    (:func:`_key_order`) with no zero coefficients, so structurally equal
+    expressions compare (and hash) equal — the atom table and the scaling
+    cache below rely on this.
+    """
 
     coeffs: Tuple[Tuple[Key, Fraction], ...] = ()
     constant: Fraction = Fraction(0)
@@ -30,13 +55,14 @@ class LinExpr:
     @staticmethod
     def from_dict(coeffs: Mapping[Key, Fraction | int], constant: Fraction | int = 0) -> "LinExpr":
         """Build a normalized expression, dropping zero coefficients."""
-        items = tuple(
-            sorted(
-                ((k, Fraction(v)) for k, v in coeffs.items() if Fraction(v) != 0),
-                key=lambda kv: repr(kv[0]),
-            )
-        )
-        return LinExpr(items, Fraction(constant))
+        items = []
+        for k, v in coeffs.items():
+            if type(v) is not Fraction:
+                v = Fraction(v)
+            if v != 0:
+                items.append((k, v))
+        items.sort(key=lambda kv: _key_order(kv[0]))
+        return LinExpr(tuple(items), Fraction(constant))
 
     @staticmethod
     def const(value: Fraction | int) -> "LinExpr":
@@ -68,16 +94,52 @@ class LinExpr:
     # -- arithmetic ------------------------------------------------------
     def __add__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
         other = _coerce(other)
-        merged = self.as_dict()
-        for k, v in other.coeffs:
-            merged[k] = merged.get(k, Fraction(0)) + v
-        return LinExpr.from_dict(merged, self.constant + other.constant)
+        a, b = self.coeffs, other.coeffs
+        constant = self.constant + other.constant
+        if not a:
+            return LinExpr(b, constant)
+        if not b:
+            return LinExpr(a, constant)
+        # Both operands are canonically sorted: merge-join instead of
+        # rebuilding a dict and re-sorting (this is the hottest allocation in
+        # the encoder's comparison normalization).
+        out: list = []
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la and j < lb:
+            ka, va = a[i]
+            kb, vb = b[j]
+            if ka == kb:
+                total = va + vb
+                if total != 0:
+                    out.append((ka, total))
+                i += 1
+                j += 1
+                continue
+            order_a, order_b = _key_order(ka), _key_order(kb)
+            if order_a == order_b:
+                # Distinct keys with colliding reprs: canonical order is
+                # ambiguous, fall back to the dict-based slow path.
+                merged = self.as_dict()
+                for k, v in b:
+                    merged[k] = merged.get(k, Fraction(0)) + v
+                return LinExpr.from_dict(merged, constant)
+            if order_a < order_b:
+                out.append(a[i])
+                i += 1
+            else:
+                out.append(b[j])
+                j += 1
+        out.extend(a[i:])
+        out.extend(b[j:])
+        return LinExpr(tuple(out), constant)
 
     def __sub__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
         return self + (_coerce(other) * -1)
 
     def __mul__(self, scalar: int | Fraction) -> "LinExpr":
-        scalar = Fraction(scalar)
+        if type(scalar) is not Fraction:
+            scalar = Fraction(scalar)
         if scalar == 0:
             return LinExpr()
         return LinExpr(
@@ -134,6 +196,72 @@ def _coerce(value: "LinExpr | int | Fraction") -> LinExpr:
     if isinstance(value, LinExpr):
         return value
     return LinExpr.const(value)
+
+
+# ---------------------------------------------------------------------------
+# Integer scaling (the entry point of the integer-scaled LIA core)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScalingStats:
+    """Counters for the integer-scaling cache (read by the harness)."""
+
+    queries: int = 0
+    cache_hits: int = 0
+
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+#: Shared scaling cache.  `LinExpr` values are hash-consed upstream (the
+#: encoder's atom table interns one expression per theory atom), so the same
+#: expression is scaled over and over across feasibility queries; caching the
+#: integer form makes the conversion effectively free after the first query.
+scaling_stats = ScalingStats()
+IntForm = Tuple[Tuple[Tuple[Key, int], ...], int]
+_INT_FORM_CACHE: Dict["LinExpr", IntForm] = {}
+_INT_FORM_CACHE_MAX = 1 << 16
+
+
+def int_form(expr: "LinExpr") -> IntForm:
+    """Scale ``expr`` to integer coefficients, preserving ``expr <= 0``.
+
+    Returns ``(coeff_items, constant)`` where ``coeff_items`` is the tuple of
+    ``(key, int_coefficient)`` pairs (in the expression's canonical order) and
+    ``constant`` is an int: the expression multiplied by the LCM of all
+    coefficient denominators and divided by the GCD of the resulting numerators
+    (including the constant).  Both operations multiply/divide by a *positive*
+    scalar, so ``expr <= 0`` holds exactly iff the scaled form is ``<= 0``.
+
+    Results are memoized per expression; callers must treat the returned
+    tuples as read-only.
+    """
+    scaling_stats.queries += 1
+    cached = _INT_FORM_CACHE.get(expr)
+    if cached is not None:
+        scaling_stats.cache_hits += 1
+        return cached
+    lcm = expr.constant.denominator
+    for _, coeff in expr.coeffs:
+        lcm = lcm * coeff.denominator // math.gcd(lcm, coeff.denominator)
+    coeffs = tuple((k, coeff.numerator * (lcm // coeff.denominator)) for k, coeff in expr.coeffs)
+    constant = expr.constant.numerator * (lcm // expr.constant.denominator)
+    gcd = abs(constant)
+    for _, coeff in coeffs:
+        gcd = math.gcd(gcd, coeff)
+    if gcd > 1:
+        coeffs = tuple((k, coeff // gcd) for k, coeff in coeffs)
+        constant //= gcd
+    result: IntForm = (coeffs, constant)
+    if len(_INT_FORM_CACHE) >= _INT_FORM_CACHE_MAX:
+        _INT_FORM_CACHE.clear()
+    _INT_FORM_CACHE[expr] = result
+    return result
+
+
+def clear_scaling_cache() -> None:
+    _INT_FORM_CACHE.clear()
 
 
 @dataclass(frozen=True)

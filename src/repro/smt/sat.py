@@ -1,4 +1,4 @@
-"""A small propositional SAT solver (DPLL with watched-literal propagation).
+"""A small CDCL SAT solver (watched literals, VSIDS, clause learning).
 
 The Boolean skeletons produced by the Re2 validity checker are small (tens of
 variables and clauses), but the DPLL(T) loop in :mod:`repro.smt.solver` solves
@@ -10,15 +10,34 @@ here is therefore built for incremental use:
   the clause list;
 * queries are solved *under assumptions* (extra literals asserted for one call
   only), which is how the lazy DPLL(T) loop asserts the root literal of a
-  Tseitin encoding against a shared clause database; and
+  Tseitin encoding against a shared clause database;
 * unit propagation uses the two-watched-literals scheme, so propagating an
   assignment touches only the clauses watching the falsified literal instead
-  of rescanning (and rebuilding) the whole clause list per decision level.
+  of rescanning the whole clause list per decision level;
+* conflicts are analyzed to the first unique implication point (1UIP),
+  the resulting clause is learned and the solver backjumps non-chronologically;
+* branching is VSIDS: every variable carries an exponentially-decayed
+  activity score, bumped when the variable appears in conflict analysis.
+  Decay is implemented by growing the bump increment (with a lazy rescale of
+  all activities when the increment overflows ``1e100``) and decisions pop a
+  lazily-filtered max-heap, so picking a branch variable is ``O(log V)``
+  instead of the previous full scan over the clause database.  Decision
+  polarity uses phase saving (last assigned polarity, default ``False``).
 
-The branching heuristic is the MOMS-like occurrence count of the original
-recursive implementation, computed over the not-yet-satisfied clauses in
-database order, so the models found (and hence the theory counterexamples fed
-to CEGIS) are identical to the previous engine's.
+Learned clauses carry their own activity (bumped when they participate in
+conflict analysis, with the same lazy-rescale trick) and the learned database
+is periodically *reduced*: the least active half is detached and deleted,
+keeping binary clauses and clauses currently locked as propagation reasons.
+Clauses learned at the SAT level are logical consequences of the attached
+database, so deleting them never affects soundness — unlike the theory lemmas
+of the DPLL(T) loop, which arrive through :meth:`CNF.add_clause` and are kept
+as ordinary problem clauses precisely so that they can never be deleted (the
+theory loop relies on them to block theory-infeasible assignments for good).
+
+Because the synthesis pipeline accepts candidates on sat/unsat *verdicts*
+(never on which model comes back first), the change of search order relative
+to the previous MOMS heuristic does not change synthesized programs — the
+regression suite checks the benchmark programs byte-for-byte.
 
 Literals follow the DIMACS convention: variables are positive integers and a
 negative literal ``-v`` denotes the negation of variable ``v``.
@@ -26,11 +45,39 @@ negative literal ``-v`` denotes the negation of variable ``v``.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 Clause = Tuple[int, ...]
+
+#: Variable-activity decay: each conflict multiplies the bump increment by
+#: ``1 / _VAR_DECAY`` (equivalent to decaying every activity by ``_VAR_DECAY``).
+_VAR_DECAY = 0.95
+_CLAUSE_DECAY = 0.999
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+@dataclass
+class SatStats:
+    """Process-wide counters for the SAT engine (read by the harness)."""
+
+    solves: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    #: VSIDS activity bumps performed during conflict analysis.
+    var_bumps: int = 0
+    #: lazy rescales of the activity table (increment overflow).
+    rescales: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    db_reductions: int = 0
+
+
+stats = SatStats()
 
 
 @dataclass
@@ -57,45 +104,72 @@ class CNF:
         return CNF(self.num_vars, list(self.clauses))
 
 
+class _Clause:
+    """A watched clause; ``lits[0]`` and ``lits[1]`` are the watched literals."""
+
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: Sequence[int], learned: bool = False) -> None:
+        self.lits = list(lits)
+        self.learned = learned
+        self.activity = 0.0
+
+
 class SatSolver:
-    """Incremental DPLL engine over a (growing) clause database.
+    """Incremental CDCL engine over a (growing) clause database.
 
     The solver never copies the database: clauses added to the attached
     :class:`CNF` after construction are ingested on the next :meth:`solve`
-    call, and per-query state (the assignment trail) is rebuilt from the
-    assumptions each time.  Watch lists persist across calls — the watched
-    literals of a clause are unassigned at the start of every query, so the
-    watching invariant carries over.
+    call, and per-query state (assignment trail, decision levels, implication
+    reasons) is rebuilt from the assumptions each time.  Watch lists, variable
+    activities, saved phases and the learned-clause database persist across
+    calls: learned clauses are consequences of the database alone (assumption
+    literals appear *inside* learned clauses rather than being assumed), so
+    reusing them under different assumptions is sound.
     """
 
     def __init__(self, cnf: CNF) -> None:
         self.cnf = cnf
         self._ingested = 0
-        #: pristine clauses in database order (for the branching heuristic)
-        self._originals: List[Clause] = []
-        #: mutable watched copies of clauses with >= 2 literals
-        self._watched: List[List[int]] = []
-        self._watch: Dict[int, List[int]] = {}
+        self._watch: Dict[int, List[_Clause]] = {}
         self._units: List[int] = []
         self._has_empty = False
+        #: variables occurring in ingested clauses (branching universe).
+        self._vars: List[int] = []
+        self._vars_seen: set = set()
+        self._activity: Dict[int, float] = {}
+        self._phase: Dict[int, bool] = {}
+        self._var_inc = 1.0
+        self._learned: List[_Clause] = []
+        self._cla_inc = 1.0
+        self._max_learned = 256
+        self._qhead = 0
 
     # -- clause ingestion ---------------------------------------------------
     def _ingest(self) -> None:
         clauses = self.cnf.clauses
         for index in range(self._ingested, len(clauses)):
             clause = clauses[index]
-            self._originals.append(clause)
             if not clause:
                 self._has_empty = True
             elif len(clause) == 1:
                 self._units.append(clause[0])
             else:
-                watched = list(clause)
-                ci = len(self._watched)
-                self._watched.append(watched)
-                self._watch.setdefault(watched[0], []).append(ci)
-                self._watch.setdefault(watched[1], []).append(ci)
+                self._attach(_Clause(clause))
+            for lit in clause:
+                var = abs(lit)
+                if var not in self._vars_seen:
+                    self._vars_seen.add(var)
+                    self._vars.append(var)
         self._ingested = len(clauses)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watch.setdefault(clause.lits[0], []).append(clause)
+        self._watch.setdefault(clause.lits[1], []).append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        self._watch[clause.lits[0]].remove(clause)
+        self._watch[clause.lits[1]].remove(clause)
 
     # -- solving --------------------------------------------------------------
     def solve(self, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
@@ -103,64 +177,120 @@ class SatSolver:
 
         The returned assignment covers every variable that was assigned during
         the search; callers default the remaining variables as they see fit.
+        The dictionary is freshly allocated and safe to mutate.
         """
         self._ingest()
+        stats.solves += 1
         if self._has_empty:
             return None
-        assign: Dict[int, bool] = {}
-        trail: List[int] = []
 
-        def enqueue(literal: int) -> bool:
+        assign: Dict[int, bool] = {}
+        level: Dict[int, int] = {}
+        reason: Dict[int, Optional[_Clause]] = {}
+        trail: List[int] = []
+        trail_lim: List[int] = []
+        self._qhead = 0
+
+        def enqueue(literal: int, why: Optional[_Clause]) -> bool:
             var = abs(literal)
             value = literal > 0
             existing = assign.get(var)
             if existing is None:
                 assign[var] = value
+                level[var] = len(trail_lim)
+                reason[var] = why
                 trail.append(literal)
                 return True
             return existing == value
 
-        for literal in assumptions:
-            if not enqueue(literal):
-                return None
         for literal in self._units:
-            if not enqueue(literal):
+            if not enqueue(literal, None):
                 return None
 
-        qhead = 0
-        # Decision stack entries: (tried_both_polarities, trail mark).
-        stack: List[Tuple[bool, int]] = []
+        # Branching heap over occurring variables; stale entries (assigned, or
+        # superseded by a later activity bump) are filtered on pop.
+        activity = self._activity
+        heap = [(-activity.get(v, 0.0), v) for v in self._vars]
+        heapq.heapify(heap)
+        for literal in assumptions:
+            var = abs(literal)
+            if var not in self._vars_seen:
+                self._vars_seen.add(var)
+                self._vars.append(var)
+                heapq.heappush(heap, (-activity.get(var, 0.0), var))
+
+        def backtrack(target: int) -> None:
+            mark = trail_lim[target]
+            for lit in trail[mark:]:
+                var = abs(lit)
+                self._phase[var] = assign[var]
+                del assign[var]
+                reason[var] = None
+                heapq.heappush(heap, (-activity.get(var, 0.0), var))
+            del trail[mark:]
+            del trail_lim[target:]
+            self._qhead = mark
+
         while True:
-            qhead = self._propagate(assign, trail, qhead)
-            if qhead < 0:
-                # Conflict: backtrack chronologically, flipping decisions.
-                while stack:
-                    flipped, mark = stack.pop()
-                    literal = trail[mark]
-                    for lit in trail[mark:]:
-                        del assign[abs(lit)]
-                    del trail[mark:]
-                    if not flipped:
-                        assign[abs(literal)] = literal < 0
-                        trail.append(-literal)
-                        stack.append((True, mark))
-                        qhead = mark
-                        break
+            conflict = self._propagate(assign, level, reason, trail, trail_lim)
+            if conflict is not None:
+                stats.conflicts += 1
+                if not trail_lim:
+                    return None  # conflict under unit clauses alone
+                learnt, bt_level = self._analyze(conflict, assign, level, reason, trail, trail_lim, heap)
+                backtrack(bt_level)
+                if len(learnt) == 1:
+                    # Globally valid unit: persists for future solve() calls.
+                    self._units.append(learnt[0])
+                    enqueue(learnt[0], None)
                 else:
-                    return None
+                    clause = _Clause(learnt, learned=True)
+                    clause.activity = self._cla_inc
+                    self._attach(clause)
+                    self._learned.append(clause)
+                    enqueue(learnt[0], clause)
+                stats.learned_clauses += 1
+                self._decay_activities()
+                if len(self._learned) > self._max_learned:
+                    self._reduce_db(reason)
                 continue
-            literal = self._choose(assign)
-            if literal is None:
+            decision_level = len(trail_lim)
+            if decision_level < len(assumptions):
+                literal = assumptions[decision_level]
+                existing = assign.get(abs(literal))
+                if existing is not None:
+                    if existing != (literal > 0):
+                        return None  # assumption refuted by the database
+                    trail_lim.append(len(trail))  # keep assumption levels aligned
+                else:
+                    trail_lim.append(len(trail))
+                    enqueue(literal, None)
+                continue
+            var = self._pick_branch_var(heap, assign, activity)
+            if var is None:
                 return dict(assign)
-            stack.append((False, len(trail)))
-            assign[abs(literal)] = literal > 0
-            trail.append(literal)
+            stats.decisions += 1
+            literal = var if self._phase.get(var, False) else -var
+            trail_lim.append(len(trail))
+            enqueue(literal, None)
 
     # -- unit propagation (two watched literals) ------------------------------
-    def _propagate(self, assign: Dict[int, bool], trail: List[int], qhead: int) -> int:
-        """Propagate to fixpoint; the new queue head, or -1 on conflict."""
-        watched = self._watched
+    def _propagate(
+        self,
+        assign: Dict[int, bool],
+        level: Dict[int, int],
+        reason: Dict[int, Optional[_Clause]],
+        trail: List[int],
+        trail_lim: List[int],
+    ) -> Optional[_Clause]:
+        """Propagate to fixpoint; the conflicting clause, or ``None``.
+
+        The propagation queue head lives in ``self._qhead`` (reset by
+        :meth:`solve`, rewound by its ``backtrack``) so that re-entering after
+        a conflict resumes where the trail was cut.
+        """
         watch = self._watch
+        qhead = self._qhead
         while qhead < len(trail):
             false_lit = -trail[qhead]
             qhead += 1
@@ -169,67 +299,169 @@ class SatSolver:
                 continue
             i = 0
             while i < len(watching):
-                ci = watching[i]
-                clause = watched[ci]
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                other = clause[0]
+                clause = watching[i]
+                lits = clause.lits
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                other = lits[0]
                 value = assign.get(abs(other))
                 if value is not None and value == (other > 0):
                     i += 1
                     continue  # clause already satisfied by its other watch
-                for j in range(2, len(clause)):
-                    lj = clause[j]
+                for j in range(2, len(lits)):
+                    lj = lits[j]
                     vj = assign.get(abs(lj))
                     if vj is None or vj == (lj > 0):
-                        clause[1], clause[j] = lj, clause[1]
-                        watch.setdefault(lj, []).append(ci)
+                        lits[1], lits[j] = lj, lits[1]
+                        watch.setdefault(lj, []).append(clause)
                         watching[i] = watching[-1]
                         watching.pop()
                         break
                 else:
                     if value is not None:
-                        return -1  # both watches false: conflict
+                        self._qhead = qhead
+                        return clause  # both watches false: conflict
+                    stats.propagations += 1
                     assign[abs(other)] = other > 0
+                    level[abs(other)] = len(trail_lim)
+                    reason[abs(other)] = clause
                     trail.append(other)
                     i += 1
-        return qhead
+        self._qhead = qhead
+        return None
 
-    # -- branching -------------------------------------------------------------
-    def _choose(self, assign: Dict[int, bool]) -> Optional[int]:
-        """The MOMS-like heuristic of the recursive engine, unchanged.
+    # -- conflict analysis (first UIP) ----------------------------------------
+    def _analyze(
+        self,
+        conflict: _Clause,
+        assign: Dict[int, bool],
+        level: Dict[int, int],
+        reason: Dict[int, Optional[_Clause]],
+        trail: List[int],
+        trail_lim: List[int],
+        heap: List[Tuple[float, int]],
+    ) -> Tuple[List[int], int]:
+        """Derive the 1UIP clause and its backjump level.
 
-        Scans the pristine clauses in database order, skipping satisfied ones;
-        among the rest, literals in minimum-length clauses weigh 4, others 1,
-        and ties resolve to the first-counted literal — exactly the view the
-        previous implementation's ``_choose_literal`` saw, so the search visits
-        the same models in the same order.
+        Resolves the conflicting clause backwards along the trail until a
+        single literal of the current decision level remains; that literal
+        (negated) asserts at the backjump level.  Variables met on the way get
+        their VSIDS activity bumped; learned clauses met on the way get their
+        clause activity bumped.
         """
-        open_clauses: List[List[int]] = []
-        min_len: Optional[int] = None
-        for clause in self._originals:
-            unassigned: List[int] = []
-            satisfied = False
-            for literal in clause:
-                value = assign.get(abs(literal))
-                if value is None:
-                    unassigned.append(literal)
-                elif value == (literal > 0):
-                    satisfied = True
-                    break
-            if satisfied:
+        current = len(trail_lim)
+        learnt: List[int] = []
+        seen: set = set()
+        counter = 0
+        resolve_lit: Optional[int] = None
+        index = len(trail) - 1
+        clause: Optional[_Clause] = conflict
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            for q in clause.lits:
+                if q == resolve_lit:
+                    continue
+                var = abs(q)
+                if var in seen or level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self._bump_var(var, heap, assign)
+                if level[var] == current:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            while abs(trail[index]) not in seen:
+                index -= 1
+            resolve_lit = trail[index]
+            index -= 1
+            clause = reason[abs(resolve_lit)]
+            counter -= 1
+            if counter == 0:
+                break
+        learnt.insert(0, -resolve_lit)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Watch invariant: learnt[1] must sit at the backjump level.
+        best = max(range(1, len(learnt)), key=lambda i: level[abs(learnt[i])])
+        bt_level = level[abs(learnt[best])]
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, bt_level
+
+    # -- VSIDS ---------------------------------------------------------------
+    def _bump_var(self, var: int, heap: List[Tuple[float, int]], assign: Dict[int, bool]) -> None:
+        activity = self._activity
+        value = activity.get(var, 0.0) + self._var_inc
+        activity[var] = value
+        stats.var_bumps += 1
+        if value > _RESCALE_LIMIT:
+            self._rescale(heap, assign)
+        else:
+            heapq.heappush(heap, (-value, var))
+
+    def _rescale(self, heap: List[Tuple[float, int]], assign: Dict[int, bool]) -> None:
+        """Scale every activity down when the bump increment overflows."""
+        stats.rescales += 1
+        activity = self._activity
+        for var in activity:
+            activity[var] *= _RESCALE_FACTOR
+        self._var_inc *= _RESCALE_FACTOR
+        for var in self._vars:
+            if var not in assign:
+                heapq.heappush(heap, (-activity.get(var, 0.0), var))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= _VAR_DECAY
+        self._cla_inc /= _CLAUSE_DECAY
+
+    def _pick_branch_var(
+        self,
+        heap: List[Tuple[float, int]],
+        assign: Dict[int, bool],
+        activity: Dict[int, float],
+    ) -> Optional[int]:
+        """Pop the most active unassigned variable (lazy-heap filtering)."""
+        while heap:
+            neg_act, var = heapq.heappop(heap)
+            if var in assign:
                 continue
-            open_clauses.append(unassigned)
-            if min_len is None or len(unassigned) < min_len:
-                min_len = len(unassigned)
-        if not open_clauses:
-            return None
-        counts: Dict[int, int] = {}
-        for unassigned in open_clauses:
-            weight = 4 if len(unassigned) == min_len else 1
-            for literal in unassigned:
-                counts[literal] = counts.get(literal, 0) + weight
-        return max(counts, key=counts.get)  # type: ignore[arg-type]
+            if -neg_act != activity.get(var, 0.0):
+                continue  # stale entry; the bump pushed a fresh one
+            return var
+        return None
+
+    # -- learned-clause management --------------------------------------------
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > _RESCALE_LIMIT:
+            for learned in self._learned:
+                learned.activity *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
+
+    def _reduce_db(self, reason: Dict[int, Optional[_Clause]]) -> None:
+        """Delete the least-active half of the learned clauses.
+
+        Binary clauses are always kept (cheap and strong), as are clauses
+        currently locked as the propagation reason of their first watch.
+        Everything deleted is a logical consequence of the remaining database,
+        so deletion trades propagation strength for watch-list size only.
+        """
+        stats.db_reductions += 1
+        self._learned.sort(key=lambda c: c.activity)
+        keep: List[_Clause] = []
+        target = len(self._learned) // 2
+        deleted = 0
+        for clause in self._learned:
+            locked = reason.get(abs(clause.lits[0])) is clause
+            if deleted >= target or len(clause.lits) <= 2 or locked:
+                keep.append(clause)
+            else:
+                self._detach(clause)
+                deleted += 1
+        self._learned = keep
+        stats.deleted_clauses += deleted
+        self._max_learned = int(self._max_learned * 1.5)
 
 
 def solve(cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:

@@ -7,8 +7,27 @@ through :func:`check_sat` / :func:`check_valid`.
 The solver enumerates Boolean models of the Tseitin skeleton produced by
 :mod:`repro.smt.encoder` and checks each model's asserted linear atoms for
 integer feasibility with :mod:`repro.smt.lia`.  Theory conflicts are turned
-into blocking clauses (with a greedy unsat-core minimization) until either a
-theory-consistent model is found or the skeleton becomes unsatisfiable.
+into blocking clauses until either a theory-consistent model is found or the
+skeleton becomes unsatisfiable.  The blocking clause negates the **minimal
+unsat core** returned by the LIA engine (derived from Farkas provenance plus
+a deletion pass inside :mod:`repro.smt.lia`) — the solver itself never
+re-probes subsets of the atom assignment.
+
+Key invariants the pipeline relies on:
+
+* *Term interning* (:mod:`repro.logic.terms`): every `Term` constructor
+  returns the unique interned node for its structure, so formulas are valid
+  dictionary keys and the caches below compare by identity-backed equality.
+* *Atom-table sharing* (:class:`repro.smt.encoder.IncrementalEncoder`): a
+  theory atom (normalized linear constraint or opaque Boolean term) maps to
+  one SAT variable for the encoder's lifetime, across all formulas.  A
+  learned theory lemma therefore states a fact about the theory itself and
+  may be replayed into any encoding whose atom set covers the lemma's
+  variables (see :meth:`Solver._sync_lemmas`).
+* *Theory lemmas are permanent*: they are appended to each encoding's clause
+  group as ordinary problem clauses, which the SAT engine never deletes
+  (only its own derived clauses are subject to learned-clause deletion), so
+  the DPLL(T) loop cannot rediscover the same conflict forever.
 
 The pipeline is *incremental* across queries (the property the paper's
 T-NInc ablation shows to matter, Table 2):
@@ -196,7 +215,12 @@ class Solver:
         return self.check_valid(t.implies(antecedent, consequent))
 
     def cache_report(self) -> Dict[str, float]:
-        """Query counts and hit rates of every cache layer (for harnesses)."""
+        """Query counts and hit rates of every cache layer (for harnesses).
+
+        Covers the per-instance counters only; the process-wide LIA/SAT/
+        scaling counters are snapshotted via :func:`theory_counters` and
+        reported as per-run deltas by the synthesis harness.
+        """
         report: Dict[str, float] = {
             "sat_queries": self.stats.sat_queries,
             "validity_queries": self.stats.validity_queries,
@@ -250,8 +274,15 @@ class Solver:
             if result.satisfiable:
                 return self._build_model(encoding, assignment, result.model or {})
             self.stats.theory_conflicts += 1
-            core = self._minimize_core(literals)
-            clause = tuple(-var if positive else var for (var, positive), _ in core)
+            core = result.core
+            if core:
+                clause = tuple(
+                    -var if positive else var
+                    for (var, positive), expr in literals
+                    if expr in core
+                )
+            else:  # defensive: block the whole assignment
+                clause = tuple(-var if positive else var for (var, positive), _ in literals)
             encoding.cnf.add_clause(clause)
             self.stats.lemmas_learned += 1
             if share:
@@ -291,27 +322,6 @@ class Solver:
                 literals.append(((var, False), (-expr) + LinExpr.const(1)))
         return literals
 
-    def _minimize_core(
-        self, literals: List[Tuple[Tuple[int, bool], LinExpr]]
-    ) -> List[Tuple[Tuple[int, bool], LinExpr]]:
-        """Greedy unsat-core minimization to learn stronger blocking clauses."""
-        core = list(literals)
-        if len(core) > 24:
-            return core
-        index = 0
-        while index < len(core):
-            candidate = core[:index] + core[index + 1 :]
-            constraints = [Constraint(expr) for _, expr in candidate]
-            try:
-                result = check_integer_feasible(constraints)
-            except BudgetExceeded:
-                return core
-            if result.satisfiable:
-                index += 1
-            else:
-                core = candidate
-        return core
-
     def _build_model(
         self,
         encoding: FormulaEncoding,
@@ -323,6 +333,38 @@ class Solver:
         for var, atom in encoding.bool_atoms.items():
             model.bools[atom] = assignment.get(var, False)
         return model
+
+
+def theory_counters() -> Dict[str, float]:
+    """Snapshot of the process-wide SMT counters (LIA, SAT, integer scaling).
+
+    All counters are monotonically increasing, so a per-run report is the
+    difference of two snapshots (see ``Synthesizer._collect_stats``):
+    integer-scaling cache traffic, Fourier-Motzkin eliminations and
+    tightenings, unsat-core counts/sizes/probes, and the SAT engine's
+    decision/conflict/VSIDS/learned-clause activity.
+    """
+    from repro.smt.linexpr import scaling_stats
+
+    return {
+        "scaling_queries": scaling_stats.queries,
+        "scaling_cache_hits": scaling_stats.cache_hits,
+        "lia_queries": lia.stats.queries,
+        "lia_cache_hits": lia.stats.cache_hits,
+        "lia_eliminations": lia.stats.eliminations,
+        "lia_tightenings": lia.stats.tightenings,
+        "lia_cores": lia.stats.cores,
+        "lia_core_size_total": lia.stats.core_size_total,
+        "lia_core_probes": lia.stats.core_probes,
+        "sat_decisions": sat.stats.decisions,
+        "sat_propagations": sat.stats.propagations,
+        "sat_conflicts": sat.stats.conflicts,
+        "sat_var_bumps": sat.stats.var_bumps,
+        "sat_rescales": sat.stats.rescales,
+        "sat_learned_clauses": sat.stats.learned_clauses,
+        "sat_deleted_clauses": sat.stats.deleted_clauses,
+        "sat_db_reductions": sat.stats.db_reductions,
+    }
 
 
 #: Sentinel distinguishing "cached None" from "not cached" in the model cache.
