@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick check-regression bench-table1 bench-table2
+.PHONY: test bench-quick check-regression bench-table1 bench-table2 specs service-smoke
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
@@ -29,3 +29,15 @@ bench-table1:
 
 bench-table2:
 	$(PYTHON) -m repro.benchsuite.run_table2
+
+## Regenerate the committed declarative goal specs from the benchmark
+## definitions (CI diffs specs/ against a fresh export).
+specs:
+	$(PYTHON) -m repro.service export --dir specs
+
+## What the CI service-smoke job runs: a cold 2-worker scheduler pass over
+## the Table 1 spec, then a warm rerun that must be 100% cache hits.
+service-smoke:
+	rm -rf /tmp/resyn-smoke-cache
+	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache
+	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache --expect-all-hits

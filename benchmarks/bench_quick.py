@@ -16,14 +16,22 @@ The report also carries a top-level ``counters`` block aggregating the
 integer-LIA-core and VSIDS metrics across all rows (scaling cache traffic,
 Fourier-Motzkin eliminations and tightenings, unsat-core counts/sizes/probes,
 SAT decisions/conflicts/bumps and learned-clause deletions) so the perf
-trajectory of the solver internals is tracked alongside wall-clock.
+trajectory of the solver internals is tracked alongside wall-clock, and a
+``service`` block timing the same suite through the batch scheduler
+(:mod:`repro.service`): worker count, parallel wall-clock and the parallel
+speedup over the serial loop, asserting on the way that the scheduler's
+programs are byte-identical to the serial ones.  Every RNG the suite touches
+is seeded explicitly up front, so reports are bit-reproducible on one machine.
 
 ``benchmarks/check_regression.py`` compares a fresh report against the
 committed one (CI fails on >25% wall-clock regression or any program drift).
+``total_seconds`` remains the *serial* wall-clock, so timing comparisons stay
+meaningful across reports with different worker counts.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_quick.py [output.json]
+    REPRO_BENCH_WORKERS=4 PYTHONPATH=src python benchmarks/bench_quick.py
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import random
 import sys
 import time
 
@@ -39,8 +48,16 @@ SRC = os.path.join(REPO_ROOT, "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
 
-from repro.benchsuite.runner import selected_benchmarks  # noqa: E402
+#: Explicit seed for every RNG the benchmark may touch.  Benchmark input
+#: generators construct their own ``random.Random(seed + size)`` instances,
+#: but the global RNG is seeded too so that any future library code drawing
+#: from it cannot make reports machine- or run-dependent.
+BENCH_SEED = 20190622
+random.seed(BENCH_SEED)
+
+from repro.benchsuite.runner import benchmark_config, selected_benchmarks  # noqa: E402
 from repro.core import synthesize  # noqa: E402
+from repro.service.scheduler import BatchScheduler, job_for_goal  # noqa: E402
 
 
 MODES = ("resyn", "synquid")
@@ -97,10 +114,55 @@ def run_quick() -> dict:
         "suite": "table1-fast",
         "modes": list(MODES),
         "python": platform.python_version(),
+        "seed": BENCH_SEED,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "total_seconds": round(total, 4),
         "counters": counters,
         "rows": rows,
+        "service": run_service(rows),
+    }
+
+
+def run_service(serial_rows: list) -> dict:
+    """Time the same suite through the batch scheduler and record the speedup.
+
+    Uses ``REPRO_BENCH_WORKERS`` workers (default: up to 4, capped at the
+    machine's core count), and asserts that the scheduler's programs are
+    byte-identical to the serial loop's — the determinism contract of the
+    service, checked in the perf artifact itself.
+    """
+    workers = int(
+        os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1))
+    )
+    jobs = []
+    for bench in selected_benchmarks("table1"):
+        for mode in MODES:
+            config = benchmark_config(bench, mode)
+            jobs.append(job_for_goal(bench.goal, config, tag=f"{bench.key}/{mode}"))
+    scheduler = BatchScheduler(workers=workers)
+    start = time.perf_counter()
+    results = scheduler.run(jobs)
+    wall = time.perf_counter() - start
+
+    serial_programs = {(r["benchmark"], r["mode"]): r["program"] for r in serial_rows}
+    for job_result in results:
+        key = tuple(job_result.tag.split("/", 1))
+        if serial_programs[key] != job_result.program_text:
+            raise AssertionError(
+                f"scheduler program drift for {job_result.tag}: "
+                f"{serial_programs[key]!r} != {job_result.program_text!r}"
+            )
+    # Speedup is measured *within* the scheduler run (sum of per-job synthesis
+    # seconds over scheduler wall-clock) so it is not polluted by process-wide
+    # caches warmed up by the serial loop above.
+    cpu = scheduler.stats.cpu_seconds
+    return {
+        "workers": workers,
+        "jobs": len(jobs),
+        "parallel_seconds": round(wall, 4),
+        "serial_equivalent_seconds": round(cpu, 4),
+        "speedup": round(cpu / wall, 3) if wall else 0.0,
+        "programs_identical": True,
     }
 
 
@@ -113,6 +175,11 @@ def main() -> None:
     print(f"wrote {out_path} (total {report['total_seconds']:.2f}s)")
     for row in report["rows"]:
         print(f"  {row['benchmark']:>16s} {row['mode']:>8s} {row['seconds']:7.3f}s")
+    service = report["service"]
+    print(
+        f"  service: {service['jobs']} jobs on {service['workers']} workers "
+        f"in {service['parallel_seconds']:.2f}s (speedup {service['speedup']:.2f}x)"
+    )
 
 
 if __name__ == "__main__":

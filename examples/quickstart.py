@@ -1,19 +1,26 @@
-"""Quickstart: synthesize a resource-bounded `append` and run it.
+"""Quickstart: synthesize a resource-bounded `append` through the batch service.
 
 This example builds a synthesis goal by hand (the same way the benchmark suite
-does), runs ReSyn, shows the synthesized program, verifies it against the Re2
-goal type and finally executes it under the cost semantics to confirm that the
-measured cost respects the typed bound (one recursive call per element of the
-first list).
+does), schedules it through the batch service twice — the first run invokes the
+synthesizer, the second is served entirely from the persistent result cache —
+prints the scheduler/cache statistics for both runs, verifies the synthesized
+program against the Re2 goal type and finally executes it under the cost
+semantics to confirm that the measured cost respects the typed bound (one
+recursive call per element of the first list).
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro.core import SynthesisConfig, SynthesisGoal, library, synthesize, verify
+import os
+import shutil
+import tempfile
+
+from repro.core import SynthesisConfig, SynthesisGoal, library, verify
 from repro.logic import terms as t
 from repro.semantics.interpreter import Interpreter
+from repro.service import BatchScheduler, ResultCache, job_for_goal
 from repro.typing.types import NU_NAME, TypeSchema, arrow, list_type, tvar_type
 
 
@@ -36,14 +43,41 @@ def build_goal() -> SynthesisGoal:
     return SynthesisGoal.create("append", schema, library())
 
 
+def run_batch(cache: ResultCache, job) -> "object":
+    """One scheduler run; prints what the service did and returns the result."""
+    scheduler = BatchScheduler(workers=2, cache=cache)
+    (job_result,) = scheduler.run([job])
+    stats = scheduler.stats
+    source = "persistent cache" if job_result.cache_hit else "synthesizer"
+    print(
+        f"  {job_result.tag}: {source} in {stats.wall_seconds:.3f}s wall "
+        f"({stats.synth_runs} synth runs, {stats.cache_hits} cache hits, "
+        f"cache hit rate {cache.stats.hit_rate():.0%})"
+    )
+    return job_result
+
+
 def main() -> None:
     goal = build_goal()
     config = SynthesisConfig.resyn(max_arg_depth=2, max_match_depth=1, max_cond_depth=0)
-    result = synthesize(goal, config)
+    job = job_for_goal(goal, config, tag="quickstart/append")
+    print("job fingerprint:", job.fingerprint[:16], "...")
+
+    cache_dir = os.path.join(tempfile.gettempdir(), "resyn-quickstart-cache")
+    shutil.rmtree(cache_dir, ignore_errors=True)  # cold start for the demo
+    cache = ResultCache(cache_dir)
+
+    print("cold run (invokes the synthesizer, fills the cache):")
+    cold = run_batch(cache, job)
+    print("warm run (served from the cache, zero synthesizer invocations):")
+    warm = run_batch(cache, job)
+    if not warm.cache_hit or warm.program_text != cold.program_text:
+        raise SystemExit("warm run should be a cache hit with an identical program")
+
+    result = warm.to_synthesis_result(goal)
     if not result.succeeded:
         raise SystemExit("synthesis failed")
-
-    print("Synthesized in %.2fs after %d candidates:" % (result.seconds, result.candidates_checked))
+    print("\nSynthesized after %d candidates:" % result.candidates_checked)
     print("   ", result.program)
 
     print("Re-checking against the Re2 goal type:", verify(result.program, goal))

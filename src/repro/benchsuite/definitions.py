@@ -65,6 +65,15 @@ class Benchmark:
             "noninc": SynthesisConfig.resyn_nonincremental(**self.config_overrides),
         }
 
+    @property
+    def constant_resource_row(self) -> bool:
+        """Whether the ``resyn`` column runs the constant-resource CT variant.
+
+        Single definition shared by the table runner and the declarative spec
+        export — the two must never disagree on which rows are CT.
+        """
+        return self.group.endswith("constant-resource") and self.key.startswith("ct_")
+
 
 # ---------------------------------------------------------------------------
 # Helpers for building goal types

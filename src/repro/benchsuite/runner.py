@@ -4,12 +4,23 @@ Usage::
 
     python -m repro.benchsuite.run_table1          # fast subset
     REPRO_FULL=1 python -m repro.benchsuite.run_table1   # all benchmarks
-    python -m repro.benchsuite.run_table2
+    REPRO_WORKERS=4 python -m repro.benchsuite.run_table1  # parallel scheduler
+    REPRO_CACHE=~/.resyn-cache python -m repro.benchsuite.run_table1
 
 Each row reports the synthesized code size, per-configuration synthesis times
 (T, T-NR, T-EAC, T-NInc), and the measured asymptotic bound of the ReSyn and
 baseline programs (columns B / B-NR of Table 2), obtained by running the
 synthesized code under the cost semantics on growing inputs.
+
+Since the batch-service PR the tables are scheduled through
+:mod:`repro.service`: every (benchmark, mode) pair becomes a job, the
+:class:`repro.service.scheduler.BatchScheduler` fans the jobs over
+``REPRO_WORKERS`` processes (default 1 — in-process, the exact previous
+behavior), and ``REPRO_CACHE`` attaches the persistent result cache so
+repeated table runs skip synthesis entirely.  Results are collected in
+submission order, so the parallel output is byte-identical to the serial run.
+Bound measurement (interpreting the synthesized program on growing inputs)
+stays in the parent process — input generators are closures and cheap to run.
 """
 
 from __future__ import annotations
@@ -43,19 +54,26 @@ class BenchmarkRow:
         return result.code_size if result else 0
 
 
+def benchmark_config(benchmark: Benchmark, mode: str) -> SynthesisConfig:
+    """The effective configuration for a (benchmark, mode) pair.
+
+    Constant-resource benchmarks (Table 2 rows 14-16, keys ``ct_*``) run the
+    CT variant of ReSyn in place of the plain ``resyn`` configuration.
+    """
+    if mode == "resyn" and benchmark.constant_resource_row:
+        return SynthesisConfig.constant_resource(**benchmark.config_overrides)
+    return benchmark.configs()[mode]
+
+
 def run_benchmark(
     benchmark: Benchmark,
     modes: Sequence[str] = ("resyn", "synquid"),
     sizes: Sequence[int] = (2, 4, 8, 12),
 ) -> BenchmarkRow:
-    """Run a benchmark under the selected tool configurations."""
+    """Run a single benchmark in-process under the selected configurations."""
     row = BenchmarkRow(benchmark)
-    configs = benchmark.configs()
     for mode in modes:
-        config = configs[mode]
-        if benchmark.group.endswith("constant-resource") and mode == "resyn" and benchmark.key.startswith("ct_"):
-            config = SynthesisConfig.constant_resource(**benchmark.config_overrides)
-        result = synthesize(benchmark.goal, config)
+        result = synthesize(benchmark.goal, benchmark_config(benchmark, mode))
         row.results[mode] = result
         if result.program is not None and benchmark.input_maker is not None:
             row.measured_bounds[mode] = measured_bound(benchmark, result.program, sizes)
@@ -95,11 +113,60 @@ def selected_benchmarks(table: str) -> List[Benchmark]:
     return [b for b in benchmarks if not b.slow]
 
 
-def run_table(table: str, modes: Sequence[str]) -> List[BenchmarkRow]:
-    rows = []
-    for benchmark in selected_benchmarks(table):
-        rows.append(run_benchmark(benchmark, modes))
-    return rows
+def run_table(
+    table: str,
+    modes: Sequence[str],
+    workers: Optional[int] = None,
+    cache=None,
+    sizes: Sequence[int] = (2, 4, 8, 12),
+) -> List[BenchmarkRow]:
+    """Regenerate a table by scheduling every (benchmark, mode) job.
+
+    ``workers`` defaults to the ``REPRO_WORKERS`` environment variable (1 if
+    unset); ``cache`` defaults to a :class:`~repro.service.cache.ResultCache`
+    at ``REPRO_CACHE`` when that variable is set.  The returned rows are in
+    benchmark-definition order regardless of parallel completion order.
+    """
+    from repro.service.cache import ResultCache
+    from repro.service.scheduler import BatchScheduler, job_for_goal
+
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    if cache is None and os.environ.get("REPRO_CACHE"):
+        cache = ResultCache(os.path.expanduser(os.environ["REPRO_CACHE"]))
+
+    benchmarks = selected_benchmarks(table)
+    jobs, keys = [], []
+    for benchmark in benchmarks:
+        for mode in modes:
+            config = benchmark_config(benchmark, mode)
+            jobs.append(job_for_goal(benchmark.goal, config, tag=f"{benchmark.key}/{mode}"))
+            keys.append((benchmark, mode))
+
+    scheduler = BatchScheduler(workers=workers, cache=cache)
+    job_results = scheduler.run(jobs)
+
+    rows: Dict[str, BenchmarkRow] = {}
+    for (benchmark, mode), job_result in zip(keys, job_results):
+        row = rows.setdefault(benchmark.key, BenchmarkRow(benchmark))
+        result = job_result.to_synthesis_result(benchmark.goal)
+        row.results[mode] = result
+        if result.program is not None and benchmark.input_maker is not None:
+            # Cached bounds are keyed by the input sizes they were fitted on;
+            # a hit with different sizes re-measures instead of returning a
+            # fit that does not correspond to the caller's parameters.
+            bound_key = f"{mode}@{','.join(map(str, sizes))}"
+            cached_bound = (job_result.record or {}).get("measured_bounds", {}).get(bound_key)
+            if job_result.cache_hit and cached_bound is not None:
+                row.measured_bounds[mode] = cached_bound
+            else:
+                bound = measured_bound(benchmark, result.program, sizes)
+                row.measured_bounds[mode] = bound
+                if cache is not None and job_result.fingerprint:
+                    bounds = dict((job_result.record or {}).get("measured_bounds") or {})
+                    bounds[bound_key] = bound
+                    cache.update(job_result.fingerprint, measured_bounds=bounds)
+    return [rows[b.key] for b in benchmarks]
 
 
 def main_table1() -> None:

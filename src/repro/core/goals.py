@@ -44,6 +44,20 @@ class SynthesisGoal:
         assert isinstance(body, ArrowType)
         return tuple(p for p, _ in body.params())
 
+    def fingerprint(self, config=None) -> str:
+        """Content fingerprint of this goal under ``config``.
+
+        Canonical SHA-256 over goal type + component library + resolved
+        configuration; the key of the batch service's persistent result cache
+        (see :mod:`repro.service.fingerprint`).  Requires every component to
+        come from the standard library, because the fingerprint must be
+        reproducible from the declarative spec alone.
+        """
+        from repro.core.config import SynthesisConfig
+        from repro.service.fingerprint import job_fingerprint
+
+        return job_fingerprint(self, config or SynthesisConfig.resyn())
+
 
 @dataclass
 class SynthesisResult:
@@ -71,3 +85,52 @@ class SynthesisResult:
     def __str__(self) -> str:
         status = str(self.program) if self.program else "<no solution>"
         return f"{self.goal.name} [{self.seconds:.2f}s, {self.candidates_checked} candidates]: {status}"
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict[str, object]:
+        """A picklable/JSON-able record of this result (without the goal).
+
+        Component implementations are closures and cannot cross process
+        boundaries, so the record carries the goal only by name; pair it with
+        the goal on the receiving side via :meth:`from_record`.  This is the
+        payload the batch service ships from workers and stores in the
+        persistent cache.
+        """
+        from repro.service.codec import program_to_json
+
+        return {
+            "goal_name": self.goal.name,
+            "program": program_to_json(self.program) if self.program is not None else None,
+            "program_text": str(self.program) if self.program is not None else None,
+            "code_size": self.code_size,
+            "seconds": self.seconds,
+            "candidates_checked": self.candidates_checked,
+            "resource_rejections": self.resource_rejections,
+            "functional_rejections": self.functional_rejections,
+            "cegis_counterexamples": self.cegis_counterexamples,
+            "stats": dict(self.stats),
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, object], goal: SynthesisGoal) -> "SynthesisResult":
+        """Rebuild a result from a :meth:`to_record` payload and its goal."""
+        from repro.service.codec import program_from_json
+
+        if record.get("goal_name") != goal.name:
+            raise ValueError(
+                f"record is for goal {record.get('goal_name')!r}, not {goal.name!r}"
+            )
+        program_json = record.get("program")
+        program = program_from_json(program_json) if program_json is not None else None
+        return SynthesisResult(
+            goal=goal,
+            program=program,
+            seconds=float(record.get("seconds", 0.0)),
+            candidates_checked=int(record.get("candidates_checked", 0)),
+            resource_rejections=int(record.get("resource_rejections", 0)),
+            functional_rejections=int(record.get("functional_rejections", 0)),
+            cegis_counterexamples=int(record.get("cegis_counterexamples", 0)),
+            stats=dict(record.get("stats") or {}),
+        )

@@ -1,0 +1,184 @@
+"""CLI for the batch synthesis service.
+
+Usage::
+
+    python -m repro.service run specs/table1.json -j 4 --cache ~/.resyn-cache
+    python -m repro.service run specs/table1.json -j 2 --modes resyn
+    python -m repro.service export --dir specs
+    python -m repro.service cache ~/.resyn-cache [--clear]
+
+``run`` schedules every goal × mode of a spec file over the worker pool,
+prints one line per job plus scheduler/cache statistics, and optionally dumps
+a machine-readable report.  A warm rerun against the same cache performs zero
+synthesizer invocations (``--expect-all-hits`` turns that into an assertion,
+which is what the CI smoke job uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.service.cache import ResultCache
+from repro.service.scheduler import BatchScheduler, JobResult
+from repro.service.specs import export_table_spec, jobs_from_spec, load_spec, write_spec
+
+
+def _status(result: JobResult) -> str:
+    if result.cancelled:
+        return "cancelled"
+    if result.error:
+        return "error"
+    if result.timed_out:
+        return "timeout"
+    if not result.succeeded:
+        return "no-solution"
+    if result.cache_hit:
+        return "hit"
+    if result.deduplicated:
+        return "dedup"
+    return "ok"
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    modes = args.modes.split(",") if args.modes else None
+    jobs = jobs_from_spec(
+        spec, modes=modes, include_slow=args.include_slow, timeout=args.timeout
+    )
+    if not jobs:
+        print("spec selected no jobs (all goals slow? try --include-slow)", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache, max_entries=args.cache_max) if args.cache else None
+    scheduler = BatchScheduler(workers=args.jobs, cache=cache)
+    # Ctrl-C is handled inside run(): unfinished jobs come back marked
+    # cancelled and the partial results are still printed below.
+    results = scheduler.run(jobs)
+
+    width = max(len(job.tag) for job in jobs)
+    for result in results:
+        line = f"  {result.tag:>{width}s}  {_status(result):>11s}  {result.seconds:7.3f}s"
+        if result.succeeded:
+            line += f"  {result.program_text}"
+        elif result.error:
+            line += f"  {result.error}"
+        print(line)
+
+    stats = scheduler.stats
+    print(
+        f"\n{stats.jobs} jobs on {stats.workers} workers: "
+        f"{stats.synth_runs} synthesized, {stats.cache_hits} cache hits, "
+        f"{stats.deduplicated} deduplicated, {stats.timeouts} timeouts, "
+        f"{stats.errors} errors"
+    )
+    line = f"wall {stats.wall_seconds:.2f}s, synthesis work {stats.cpu_seconds:.2f}s"
+    if stats.cpu_seconds and stats.wall_seconds:
+        line += f" (speedup {stats.cpu_seconds / stats.wall_seconds:.2f}x)"
+    if stats.saved_seconds:
+        line += f", {stats.saved_seconds:.2f}s of synthesis avoided by the cache"
+    print(line)
+    if cache is not None:
+        c = cache.stats
+        print(
+            f"cache: {c.hits} hits / {c.misses} misses "
+            f"({100 * c.hit_rate():.0f}%), {c.stores} stores, {c.evictions} evictions"
+        )
+
+    if args.json:
+        report = {
+            "spec": args.spec,
+            "scheduler": stats.as_dict(),
+            "cache": cache.stats.as_dict() if cache else None,
+            "results": [
+                {
+                    "tag": r.tag,
+                    "fingerprint": r.fingerprint,
+                    "status": _status(r),
+                    "seconds": r.seconds,
+                    "program": r.program_text,
+                }
+                for r in results
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.expect_all_hits and scheduler.stats.synth_runs > 0:
+        print(
+            f"FAIL: expected a fully warm cache but {scheduler.stats.synth_runs} "
+            "jobs invoked the synthesizer",
+            file=sys.stderr,
+        )
+        return 1
+    if stats.errors or stats.cancelled:
+        return 1  # an aborted or failing batch must not look like success
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    tables = ["table1", "table2"] if args.table == "all" else [args.table]
+    for table in tables:
+        path = f"{args.dir}/{table}.json"
+        write_spec(export_table_spec(table), path)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    fingerprints = list(cache.fingerprints())
+    print(f"{cache.root}: {len(fingerprints)} entries")
+    for fingerprint in fingerprints:
+        entry = cache.lookup(fingerprint) or {}
+        print(
+            f"  {fingerprint[:16]}  {entry.get('goal_name', '?'):>16s}  "
+            f"{entry.get('seconds', 0.0):7.3f}s  {entry.get('program_text') or '<no solution>'}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.service", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="schedule every goal of a spec file")
+    run.add_argument("spec", help="path to a goal-spec file (.json or .toml)")
+    run.add_argument("-j", "--jobs", type=int, default=1, help="worker processes (default 1)")
+    run.add_argument("--cache", help="persistent result-cache directory")
+    run.add_argument("--cache-max", type=int, default=None, help="cache entry limit (LRU)")
+    run.add_argument("--modes", help="comma-separated mode override (e.g. resyn,synquid)")
+    run.add_argument("--include-slow", action="store_true", help="also run goals marked slow")
+    run.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
+    run.add_argument("--json", help="write a machine-readable report here")
+    run.add_argument(
+        "--expect-all-hits",
+        action="store_true",
+        help="fail unless every job was served from the cache (CI warm-cache check)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    export = commands.add_parser("export", help="export benchmark tables as spec files")
+    export.add_argument("table", nargs="?", default="all", choices=["table1", "table2", "all"])
+    export.add_argument("--dir", default="specs", help="output directory (default specs/)")
+    export.set_defaults(func=_cmd_export)
+
+    cache = commands.add_parser("cache", help="inspect or clear a result cache")
+    cache.add_argument("dir", help="cache directory")
+    cache.add_argument("--clear", action="store_true", help="delete every entry")
+    cache.set_defaults(func=_cmd_cache)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

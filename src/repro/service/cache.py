@@ -1,0 +1,201 @@
+"""Persistent content-addressed result cache.
+
+Synthesis results are stored on disk keyed by the job fingerprint of
+:mod:`repro.service.fingerprint`, so repeated and overlapping requests — the
+"millions of users" path of the ROADMAP — skip synthesis entirely: a warm
+rerun of a spec file performs zero synthesizer invocations.
+
+Layout: one JSON file per entry under ``<root>/objects/<fp[:2]>/<fp>.json``
+(two-level fan-out keeps directories small at scale), plus a ``meta.json``
+recording the cache format version.  Entries are plain dictionaries produced
+by :meth:`repro.core.goals.SynthesisResult.to_record`: the synthesized program
+(JSON AST + rendered text), wall-clock seconds, candidate counters and the
+per-run solver statistics.  Writes go through a temp file and ``os.replace``,
+so concurrent writers (multiple scheduler processes sharing one cache
+directory) can race without ever exposing a torn entry.
+
+Eviction is least-recently-used, approximated by file modification time: a
+hit refreshes the entry's mtime, and when ``max_entries`` is exceeded the
+oldest entries are deleted.  The cache is an optimization layer — losing an
+entry only costs a re-synthesis — so crash-consistency of the eviction scan
+is deliberately not attempted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_stores": self.stores,
+            "cache_evictions": self.evictions,
+            "cache_hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+class ResultCache:
+    """Disk-backed map from job fingerprints to synthesis result records."""
+
+    def __init__(self, root: str, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.root = os.path.abspath(root)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._objects = os.path.join(self.root, "objects")
+        #: Approximate entry count, seeded lazily from one directory scan and
+        #: maintained incrementally so store() does not walk the tree each
+        #: time (other processes sharing the directory drift it slightly;
+        #: the overflow scan resynchronizes it).
+        self._count: Optional[int] = None
+        os.makedirs(self._objects, exist_ok=True)
+        self._write_meta()
+
+    def _write_meta(self) -> None:
+        meta_path = os.path.join(self.root, "meta.json")
+        if not os.path.exists(meta_path):
+            self._atomic_write(meta_path, {"format": CACHE_FORMAT_VERSION})
+
+    def _entry_path(self, fingerprint: str) -> str:
+        return os.path.join(self._objects, fingerprint[:2], f"{fingerprint}.json")
+
+    @staticmethod
+    def _atomic_write(path: str, payload: dict) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str) -> Optional[dict]:
+        """The cached record for ``fingerprint``, refreshing its LRU stamp."""
+        path = self._entry_path(fingerprint)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # LRU stamp only; a failed touch just ages the entry
+        return entry
+
+    def store(self, fingerprint: str, record: dict) -> None:
+        """Persist a result record under ``fingerprint`` (and maybe evict)."""
+        entry = dict(record)
+        entry["fingerprint"] = fingerprint
+        entry.setdefault("stored_at", time.time())
+        path = self._entry_path(fingerprint)
+        if self.max_entries is not None:
+            if self._count is None:
+                self._count = len(self._scan())
+            if not os.path.exists(path):  # overwrites don't grow the cache
+                self._count += 1
+        self._atomic_write(path, entry)
+        self.stats.stores += 1
+        if self.max_entries is not None and self._count is not None and self._count > self.max_entries:
+            self._evict()
+
+    def update(self, fingerprint: str, **fields: object) -> bool:
+        """Merge extra fields (e.g. measured bounds) into an existing entry."""
+        path = self._entry_path(fingerprint)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return False
+        entry.update(fields)
+        self._atomic_write(path, entry)
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _scan(self) -> List[Tuple[float, str]]:
+        """(mtime, path) for every entry, oldest first."""
+        found: List[Tuple[float, str]] = []
+        for dirpath, _, filenames in os.walk(self._objects):
+            for name in filenames:
+                if name.endswith(".json"):
+                    path = os.path.join(dirpath, name)
+                    try:
+                        found.append((os.path.getmtime(path), path))
+                    except OSError:
+                        continue  # concurrently evicted
+        found.sort()
+        return found
+
+    def _evict(self) -> None:
+        """Drop the oldest entries until ~10% below the cap.
+
+        The scan is O(entries), so it only runs on overflow, and the batch
+        headroom means the next ``max_entries // 10`` stores are scan-free —
+        amortized O(1) directory traffic per store at steady state.  Caps
+        under 10 evict to the cap exactly (no headroom to amortize with).
+        """
+        entries = self._scan()
+        cap = self.max_entries or 0
+        target = max(cap - cap // 10, 0)
+        deleted = 0
+        for _, path in entries[: max(len(entries) - target, 0)]:
+            try:
+                os.unlink(path)
+                deleted += 1
+                self.stats.evictions += 1
+            except OSError:
+                continue
+        self._count = len(entries) - deleted
+
+    def __len__(self) -> int:
+        return len(self._scan())
+
+    def fingerprints(self) -> Iterator[str]:
+        """All fingerprints currently stored, oldest first."""
+        for _, path in self._scan():
+            yield os.path.splitext(os.path.basename(path))[0]
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for _, path in self._scan():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+        self._count = 0
+        return removed

@@ -1,0 +1,48 @@
+"""Canonical content fingerprints for synthesis jobs.
+
+A fingerprint identifies everything that determines a synthesis outcome: the
+goal (name, Re2 goal type, component *names*), the full definitions of the
+referenced components (their type schemas — so editing the standard library
+invalidates cached results that depended on the old schemas), and the fully
+resolved search configuration.  Two jobs with the same fingerprint are
+guaranteed to synthesize the same program, because the search is deterministic
+and verdict-driven (see :mod:`repro.core.synthesizer`).
+
+The fingerprint is the SHA-256 of the *canonical JSON* serialization of that
+payload: keys sorted, no whitespace, defaults omitted by the codec the same
+way every time.  Dictionary insertion order, Python version hash seeds and
+process boundaries therefore do not affect it — the persistent cache keys on
+it across runs and machines.
+
+``FINGERPRINT_VERSION`` must be bumped whenever the codec encoding or the
+semantics of the synthesizer change in a way that alters results for the same
+payload; bumping it orphans (rather than corrupts) existing cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.config import SynthesisConfig
+from repro.core.goals import SynthesisGoal
+from repro.service.codec import config_to_json, goal_to_json, schema_to_json
+
+FINGERPRINT_VERSION = 1
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON serialization (sorted keys, minimal separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def job_fingerprint(goal: SynthesisGoal, config: SynthesisConfig) -> str:
+    """The content fingerprint of one (goal, component library, config) job."""
+    payload = {
+        "version": FINGERPRINT_VERSION,
+        "goal": goal_to_json(goal),
+        "library": {c.name: schema_to_json(c.schema) for c in goal.components},
+        "config": config_to_json(config),
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()

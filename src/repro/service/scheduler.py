@@ -1,0 +1,407 @@
+"""Parallel job scheduler for batch synthesis.
+
+Fans a set of synthesis jobs out over a ``multiprocessing`` worker pool and
+collects results *deterministically*: results come back in submission order
+regardless of which worker finished first, and the synthesized programs are
+byte-identical to a serial run because the search itself is deterministic and
+verdict-driven (:mod:`repro.core.synthesizer`) — parallelism only changes who
+executes a job, never what the job computes.
+
+Jobs cross the process boundary as plain JSON-able payloads (goals and
+configurations via :mod:`repro.service.codec` — component closures never get
+pickled) and results come back as the records of
+:meth:`repro.core.goals.SynthesisResult.to_record`.
+
+Scheduling features:
+
+* **per-job timeouts** — enforced *inside* the worker through the
+  synthesizer's own deadline checks, so a timed-out job returns a clean
+  no-solution record instead of poisoning the pool;
+* **cancellation** — :meth:`BatchScheduler.cancel` (or a ``KeyboardInterrupt``
+  during :meth:`~BatchScheduler.run`) terminates the pool and marks every
+  unfinished job as cancelled, returning the partial results collected so far;
+* **cache integration** — with a :class:`repro.service.cache.ResultCache`
+  attached, fingerprint hits skip synthesis entirely and fresh results are
+  persisted on completion;
+* **in-flight deduplication** — jobs in one batch that share a fingerprint
+  (overlapping requests) are synthesized once and share the result.
+
+``workers <= 1`` runs jobs in-process with identical semantics — that is the
+baseline the determinism tests compare the pool against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.goals import SynthesisGoal, SynthesisResult
+from repro.service.cache import ResultCache
+from repro.service.codec import config_from_json, config_to_json, goal_from_json, goal_to_json
+from repro.service.fingerprint import job_fingerprint
+
+#: Counter keys that are plain sums and therefore meaningful to aggregate
+#: across workers (rates and averages are recomputed, never summed).
+def _summable(key: str, value: object) -> bool:
+    return isinstance(value, (int, float)) and not key.endswith(("_rate", "_avg_core_size"))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable synthesis problem, fully serializable."""
+
+    goal_json: dict
+    config_json: dict
+    #: Caller-chosen label used to correlate results (e.g. ``t1_append/resyn``).
+    tag: str
+    #: Per-job wall-clock budget; overrides the config timeout when tighter.
+    timeout: Optional[float] = None
+    fingerprint: str = ""
+
+    def goal(self) -> SynthesisGoal:
+        return goal_from_json(self.goal_json)
+
+    def config(self) -> SynthesisConfig:
+        return config_from_json(self.config_json)
+
+
+def job_for_goal(
+    goal: SynthesisGoal,
+    config: Optional[SynthesisConfig] = None,
+    tag: Optional[str] = None,
+    timeout: Optional[float] = None,
+) -> Job:
+    """Package a goal + configuration as a schedulable, cache-addressable job."""
+    config = config or SynthesisConfig.resyn()
+    return Job(
+        goal_json=goal_to_json(goal),
+        config_json=config_to_json(config),
+        tag=tag if tag is not None else goal.name,
+        timeout=timeout,
+        fingerprint=job_fingerprint(goal, config),
+    )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a result record plus scheduling metadata."""
+
+    tag: str
+    fingerprint: str
+    record: Optional[Dict[str, object]] = None
+    cache_hit: bool = False
+    #: Another job in the same batch had the same fingerprint and ran for us.
+    deduplicated: bool = False
+    timed_out: bool = False
+    cancelled: bool = False
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.record is not None and self.record.get("program") is not None
+
+    @property
+    def program_text(self) -> Optional[str]:
+        return self.record.get("program_text") if self.record else None
+
+    @property
+    def seconds(self) -> float:
+        return float(self.record.get("seconds", 0.0)) if self.record else 0.0
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return dict(self.record.get("stats") or {}) if self.record else {}
+
+    def to_synthesis_result(self, goal: SynthesisGoal) -> SynthesisResult:
+        """Rebuild the full :class:`SynthesisResult` for ``goal``."""
+        if self.record is None:
+            raise ValueError(f"job {self.tag!r} produced no record ({self.error or 'cancelled'})")
+        return SynthesisResult.from_record(self.record, goal)
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregated statistics of one :meth:`BatchScheduler.run` call."""
+
+    jobs: int = 0
+    workers: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    #: Jobs that actually invoked the synthesizer (misses minus dedups).
+    synth_runs: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    #: Sum of per-job synthesis seconds actually spent this run
+    #: (serial-equivalent work performed).
+    cpu_seconds: float = 0.0
+    #: Synthesis seconds avoided by cache hits and in-batch deduplication
+    #: (from the stored records of the original runs).
+    saved_seconds: float = 0.0
+    #: Solver/search counters summed across all completed jobs.
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "deduplicated": self.deduplicated,
+            "synth_runs": self.synth_runs,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "cpu_seconds": round(self.cpu_seconds, 4),
+            "saved_seconds": round(self.saved_seconds, 4),
+            "counters": dict(self.counters),
+        }
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Worker entry point: decode, synthesize, return a plain record.
+
+    Must stay importable at module level (pickled by reference under the
+    ``spawn`` start method).  Never raises for synthesis-level failures — a
+    timeout or search exhaustion is a *result* (no program), not an error.
+    """
+    from repro.core.synthesizer import synthesize
+
+    goal = goal_from_json(payload["goal"])
+    config = config_from_json(payload["config"])
+    job_timeout = payload.get("timeout")
+    if job_timeout is not None and (config.timeout is None or job_timeout < config.timeout):
+        config.timeout = job_timeout
+    result = synthesize(goal, config)
+    record = result.to_record()
+    record["worker_pid"] = os.getpid()
+    soft_timeout = config.timeout
+    record["timed_out"] = bool(
+        record["program"] is None and soft_timeout is not None and result.seconds >= soft_timeout
+    )
+    return record
+
+
+class BatchScheduler:
+    """Schedules synthesis jobs over a worker pool, with optional caching."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers
+        self.cache = cache
+        if start_method is None:
+            # fork is dramatically cheaper (no re-import per worker) and the
+            # synthesis pipeline is single-threaded, so it is safe here.
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self.stats = SchedulerStats()
+        self._cancelled = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cancellation; unfinished jobs are marked ``cancelled``."""
+        self._cancelled = True
+
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute ``jobs`` and return their results in submission order."""
+        start = time.perf_counter()
+        self._cancelled = False
+        self.stats = SchedulerStats(jobs=len(jobs), workers=max(1, self.workers))
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+
+        pending: List[int] = []
+        primary_for: Dict[str, int] = {}
+        duplicates: Dict[int, int] = {}
+        for index, job in enumerate(jobs):
+            if self.cache is not None and job.fingerprint:
+                entry = self.cache.lookup(job.fingerprint)
+                if entry is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = JobResult(
+                        tag=job.tag,
+                        fingerprint=job.fingerprint,
+                        record=entry,
+                        cache_hit=True,
+                        timed_out=bool(entry.get("timed_out")),
+                    )
+                    continue
+            # Deduplicate on (fingerprint, timeout): the per-job timeout is not
+            # part of the fingerprint (it does not change what a *successful*
+            # synthesis produces), but it does decide whether a job times out,
+            # so jobs with different budgets must not share one execution.
+            dedup_key = (job.fingerprint, job.timeout)
+            primary = primary_for.get(dedup_key)
+            if job.fingerprint and primary is not None:
+                duplicates[index] = primary
+                continue
+            primary_for[dedup_key] = index
+            pending.append(index)
+
+        self.stats.synth_runs = len(pending)
+        if pending:
+            if self.workers <= 1:
+                self._run_serial(jobs, pending, results)
+            else:
+                self._run_pool(jobs, pending, results)
+
+        for index, primary in duplicates.items():
+            primary_result = results[primary]
+            assert primary_result is not None
+            self.stats.deduplicated += 1
+            results[index] = JobResult(
+                tag=jobs[index].tag,
+                fingerprint=jobs[index].fingerprint,
+                record=primary_result.record,
+                cache_hit=primary_result.cache_hit,
+                deduplicated=True,
+                timed_out=primary_result.timed_out,
+                cancelled=primary_result.cancelled,
+                error=primary_result.error,
+            )
+
+        final: List[JobResult] = []
+        for index, job in enumerate(jobs):
+            result = results[index]
+            if result is None:  # cancelled before execution
+                result = JobResult(tag=job.tag, fingerprint=job.fingerprint, cancelled=True)
+            self._tally(result)
+            final.append(result)
+        self.stats.wall_seconds = time.perf_counter() - start
+        return final
+
+    def run_goals(
+        self,
+        goals: Sequence[SynthesisGoal],
+        config: Optional[SynthesisConfig] = None,
+        timeout: Optional[float] = None,
+    ) -> List[SynthesisResult]:
+        """Convenience wrapper: schedule goals, return full results in order."""
+        jobs = [job_for_goal(goal, config, timeout=timeout) for goal in goals]
+        return [
+            job_result.to_synthesis_result(goal)
+            for goal, job_result in zip(goals, self.run(jobs))
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload(job: Job) -> dict:
+        return {"goal": job.goal_json, "config": job.config_json, "timeout": job.timeout}
+
+    def _complete(self, job: Job, record: dict) -> JobResult:
+        result = JobResult(
+            tag=job.tag,
+            fingerprint=job.fingerprint,
+            record=record,
+            timed_out=bool(record.get("timed_out")),
+        )
+        # Timed-out results are clock- and machine-dependent, not properties
+        # of the fingerprinted payload — persisting them would make a later
+        # run with a generous budget report the stale failure forever.
+        if self.cache is not None and job.fingerprint and not result.timed_out:
+            self.cache.store(job.fingerprint, record)
+        return result
+
+    def _run_serial(
+        self, jobs: Sequence[Job], pending: List[int], results: List[Optional[JobResult]]
+    ) -> None:
+        for index in pending:
+            if self._cancelled:
+                results[index] = JobResult(
+                    tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, cancelled=True
+                )
+                continue
+            try:
+                record = _execute_payload(self._payload(jobs[index]))
+            except KeyboardInterrupt:
+                # Same semantics as the pool backend: stop, mark the rest
+                # cancelled, and let run() return the partial results.
+                self._cancelled = True
+                results[index] = JobResult(
+                    tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, cancelled=True
+                )
+            except Exception as exc:  # noqa: BLE001 - worker parity
+                results[index] = JobResult(
+                    tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, error=repr(exc)
+                )
+            else:
+                results[index] = self._complete(jobs[index], record)
+
+    def _run_pool(
+        self, jobs: Sequence[Job], pending: List[int], results: List[Optional[JobResult]]
+    ) -> None:
+        pool = self._ctx.Pool(processes=self.workers)
+        try:
+            async_results = {
+                index: pool.apply_async(_execute_payload, (self._payload(jobs[index]),))
+                for index in pending
+            }
+            pool.close()
+            for index in pending:
+                if self._cancelled:
+                    results[index] = JobResult(
+                        tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, cancelled=True
+                    )
+                    continue
+                try:
+                    record = async_results[index].get()
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - per-job isolation
+                    results[index] = JobResult(
+                        tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, error=repr(exc)
+                    )
+                else:
+                    results[index] = self._complete(jobs[index], record)
+            pool.join()
+        except KeyboardInterrupt:
+            self._cancelled = True
+            pool.terminate()
+            pool.join()
+            for index in pending:
+                if results[index] is None:
+                    results[index] = JobResult(
+                        tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, cancelled=True
+                    )
+        finally:
+            pool.terminate()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _tally(self, result: JobResult) -> None:
+        stats = self.stats
+        if result.timed_out:
+            stats.timeouts += 1
+        if result.cancelled:
+            stats.cancelled += 1
+        if result.error is not None:
+            stats.errors += 1
+        # Counters and cpu_seconds measure work *performed this run*; cache
+        # hits and dedup copies only contribute to saved_seconds.
+        if result.record is None or result.deduplicated or result.cache_hit:
+            if result.record is not None and (result.deduplicated or result.cache_hit):
+                stats.saved_seconds += result.seconds
+            return
+        stats.cpu_seconds += result.seconds
+        for key, value in result.stats.items():
+            if _summable(key, value):
+                stats.counters[key] = stats.counters.get(key, 0) + value
+        for key in ("candidates_checked", "cegis_counterexamples"):
+            value = result.record.get(key)
+            if isinstance(value, (int, float)):
+                stats.counters[key] = stats.counters.get(key, 0) + value

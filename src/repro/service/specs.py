@@ -1,0 +1,159 @@
+"""Declarative goal specifications (JSON/TOML).
+
+A *spec file* defines a batch of synthesis scenarios without writing Python:
+each goal entry carries the goal name, its full Re2 goal type (encoded by
+:mod:`repro.service.codec`), the component names it may use, the tool modes to
+run it under and per-goal search-bound overrides.  The existing Table 1 and
+Table 2 benchmark definitions export losslessly to this format
+(``specs/table1.json``, ``specs/table2.json`` — regenerate with
+``python -m repro.service export``), which is the round-tripping proof that
+the format can express every scenario the repository knows about.
+
+Spec files are JSON by default; ``.toml`` files are read through the standard
+library ``tomllib`` where available (Python ≥ 3.11), with the same structure.
+
+Schema (``resyn-goals/1``)::
+
+    {
+      "format": "resyn-goals/1",
+      "suite": "table1",
+      "goals": [
+        {
+          "key": "t1_append",              // unique row key
+          "description": "append two lists",
+          "goal": {"name": ..., "schema": ..., "components": [...]},
+          "modes": ["resyn", "synquid"],   // named configs, see CONFIG_MODES
+          "config": {"max_arg_depth": 2},  // overrides applied to every mode
+          "constant_resource": false,       // resyn runs as the CT variant
+          "slow": false                     // skipped unless include_slow
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.codec import CodecError, config_from_mode, goal_from_json, goal_to_json
+from repro.service.scheduler import Job, job_for_goal
+
+SPEC_FORMAT = "resyn-goals/1"
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+
+def load_spec(path: str) -> dict:
+    """Load and validate a spec file (JSON, or TOML via ``tomllib``)."""
+    if path.endswith(".toml"):
+        import tomllib
+
+        with open(path, "rb") as handle:
+            spec = tomllib.load(handle)
+    else:
+        with open(path) as handle:
+            spec = json.load(handle)
+    validate_spec(spec)
+    return spec
+
+
+def validate_spec(spec: dict) -> None:
+    if spec.get("format") != SPEC_FORMAT:
+        raise CodecError(
+            f"unsupported spec format {spec.get('format')!r} (expected {SPEC_FORMAT!r})"
+        )
+    goals = spec.get("goals")
+    if not isinstance(goals, list) or not goals:
+        raise CodecError("spec must contain a non-empty 'goals' list")
+    seen = set()
+    for entry in goals:
+        key = entry.get("key")
+        if not key or key in seen:
+            raise CodecError(f"goal entries need unique 'key' fields (got {key!r})")
+        seen.add(key)
+        if "goal" not in entry:
+            raise CodecError(f"goal {key!r} is missing its 'goal' payload")
+
+
+def jobs_from_spec(
+    spec: dict,
+    modes: Optional[Sequence[str]] = None,
+    include_slow: bool = False,
+    timeout: Optional[float] = None,
+) -> List[Job]:
+    """Expand a spec into schedulable jobs (one per goal × mode).
+
+    ``modes`` restricts every goal to the given modes; by default each goal
+    runs under the modes its entry declares.  Goals marked ``slow`` are
+    skipped unless ``include_slow`` (mirroring the ``REPRO_FULL`` convention
+    of the benchmark harness).
+    """
+    jobs: List[Job] = []
+    for entry in spec["goals"]:
+        if entry.get("slow") and not include_slow:
+            continue
+        goal = goal_from_json(entry["goal"])
+        overrides = dict(entry.get("config") or {})
+        entry_modes = list(modes) if modes is not None else list(entry.get("modes") or ["resyn"])
+        for mode in entry_modes:
+            effective_mode = mode
+            if mode == "resyn" and entry.get("constant_resource"):
+                effective_mode = "constant_resource"
+            config = config_from_mode(effective_mode, overrides)
+            jobs.append(
+                job_for_goal(goal, config, tag=f"{entry['key']}/{mode}", timeout=timeout)
+            )
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# Exporting (benchmark definitions -> specs)
+# ---------------------------------------------------------------------------
+
+
+def spec_from_benchmarks(suite: str, benchmarks, modes: Sequence[str]) -> dict:
+    """Encode benchmark definitions as a declarative spec."""
+    goals = []
+    for bench in benchmarks:
+        entry: Dict[str, object] = {
+            "key": bench.key,
+            "description": bench.description,
+            "group": bench.group,
+            "goal": goal_to_json(bench.goal),
+            "modes": list(modes),
+        }
+        if bench.config_overrides:
+            entry["config"] = dict(bench.config_overrides)
+        if bench.slow:
+            entry["slow"] = True
+        # The runner's constant-resource special case (Table 2 CT rows).
+        if bench.constant_resource_row:
+            entry["constant_resource"] = True
+        goals.append(entry)
+    return {"format": SPEC_FORMAT, "suite": suite, "goals": goals}
+
+
+def export_table_spec(table: str) -> dict:
+    """The committed spec for ``table1`` or ``table2``."""
+    from repro.benchsuite.definitions import table1_benchmarks, table2_benchmarks
+
+    if table == "table1":
+        return spec_from_benchmarks("table1", table1_benchmarks(), ("resyn", "synquid"))
+    if table == "table2":
+        return spec_from_benchmarks(
+            "table2", table2_benchmarks(), ("resyn", "synquid", "eac", "noninc")
+        )
+    raise ValueError(f"unknown table {table!r}")
+
+
+def write_spec(spec: dict, path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(spec, handle, indent=2, sort_keys=True)
+        handle.write("\n")

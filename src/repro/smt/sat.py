@@ -86,19 +86,42 @@ class CNF:
 
     num_vars: int = 0
     clauses: List[Clause] = field(default_factory=list)
+    #: Reusable scratch state for :meth:`add_clause` (clause ingestion is the
+    #: hottest allocation site of the encoder: one dict + one intermediate
+    #: tuple per Tseitin clause before this buffer existed).  Excluded from
+    #: equality/repr; ``copy()`` gives the clone fresh buffers via ``__init__``.
+    _buf: List[int] = field(default_factory=list, init=False, repr=False, compare=False)
+    _seen: set = field(default_factory=set, init=False, repr=False, compare=False)
 
     def new_var(self) -> int:
         self.num_vars += 1
         return self.num_vars
 
     def add_clause(self, literals: Iterable[int]) -> None:
-        clause = tuple(dict.fromkeys(literals))  # dedupe, keep order
-        if any(-lit in clause for lit in clause):
-            return  # tautology
-        for lit in clause:
-            if abs(lit) > self.num_vars:
-                self.num_vars = abs(lit)
-        self.clauses.append(clause)
+        """Append a clause, deduplicating literals and dropping tautologies.
+
+        Single pass over ``literals`` into a reused buffer: dedupe and the
+        tautology check share one membership set, the literal order of first
+        occurrence is kept (determinism), and the only allocation that
+        survives is the stored clause tuple itself.
+        """
+        buf = self._buf
+        seen = self._seen
+        buf.clear()
+        seen.clear()
+        num_vars = self.num_vars
+        for lit in literals:
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return  # tautology
+            seen.add(lit)
+            buf.append(lit)
+            var = lit if lit > 0 else -lit
+            if var > num_vars:
+                num_vars = var
+        self.num_vars = num_vars
+        self.clauses.append(tuple(buf))
 
     def copy(self) -> "CNF":
         return CNF(self.num_vars, list(self.clauses))
