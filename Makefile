@@ -5,11 +5,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick check-regression bench-table1 bench-table2 specs service-smoke
+.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static checks: ruff lint rules + formatting drift (configured in
+## pyproject.toml).  This is exactly what the CI lint job runs.
+lint:
+	$(PYTHON) -m ruff check .
+	$(PYTHON) -m ruff format --check .
 
 ## Quick perf benchmark: fast Table 1 subset; writes BENCH_synthesis.json
 ## at the repository root (tracked across PRs).

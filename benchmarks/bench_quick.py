@@ -62,8 +62,13 @@ from repro.service.scheduler import BatchScheduler, job_for_goal  # noqa: E402
 
 MODES = ("resyn", "synquid")
 
-#: Process-wide counters aggregated into the report's ``counters`` block.
+#: Counters aggregated into the report's ``counters`` block.  Most are
+#: process-wide theory counters reported as per-run deltas; the gate-cache
+#: counters are per-solver-instance (one solver per row) and sum the same way.
 AGGREGATED_COUNTERS = (
+    "gate_cache_queries",
+    "gate_cache_hits",
+    "gate_clauses_reused",
     "scaling_queries",
     "scaling_cache_hits",
     "lia_queries",
@@ -131,9 +136,7 @@ def run_service(serial_rows: list) -> dict:
     byte-identical to the serial loop's — the determinism contract of the
     service, checked in the perf artifact itself.
     """
-    workers = int(
-        os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1))
-    )
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1)))
     jobs = []
     for bench in selected_benchmarks("table1"):
         for mode in MODES:

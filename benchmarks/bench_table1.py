@@ -9,7 +9,6 @@ per slow entry).
 
 import pytest
 
-from repro.benchsuite.definitions import table1_benchmarks
 from repro.benchsuite.runner import selected_benchmarks
 from repro.core import synthesize
 

@@ -11,7 +11,6 @@ slow case studies (common, list difference, compress, insert, take/drop).
 
 import pytest
 
-from repro.benchsuite.definitions import compare_benchmark
 from repro.benchsuite.runner import measured_bound, selected_benchmarks
 from repro.core import SynthesisConfig, synthesize
 

@@ -17,7 +17,11 @@ from repro.core import synthesize
 from repro.logic import terms as t
 
 
-BENCHMARKS = [b for b in selected_benchmarks("table2") if b.group.endswith("dependent") or b.key.startswith("triple")]
+BENCHMARKS = [
+    b
+    for b in selected_benchmarks("table2")
+    if b.group.endswith("dependent") or b.key.startswith("triple")
+]
 
 
 def _synthesize(bench, mode):

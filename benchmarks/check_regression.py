@@ -29,14 +29,30 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
 
 
 def load_programs(report: dict) -> dict:
-    return {
-        (row["benchmark"], row["mode"]): row["program"] for row in report["rows"]
-    }
+    return {(row["benchmark"], row["mode"]): row["program"] for row in report["rows"]}
+
+
+def program_diff(benchmark: str, mode: str, baseline: str | None, fresh: str | None) -> str:
+    """A unified diff of two synthesized programs, labeled by benchmark/mode.
+
+    Programs are single-line S-expressions; diffing them token-per-line makes
+    the first diverging subterm visible instead of dumping two long lines.
+    """
+    base_lines = (baseline or "<no program>").replace(" ", "\n").splitlines(keepends=False)
+    fresh_lines = (fresh or "<no program>").replace(" ", "\n").splitlines(keepends=False)
+    diff = difflib.unified_diff(
+        [line + "\n" for line in base_lines],
+        [line + "\n" for line in fresh_lines],
+        fromfile=f"baseline/{benchmark}/{mode}",
+        tofile=f"fresh/{benchmark}/{mode}",
+    )
+    return "".join(diff)
 
 
 def main() -> int:
@@ -78,12 +94,15 @@ def main() -> int:
 
     base_programs = load_programs(baseline)
     fresh_programs = load_programs(fresh)
-    for key, program in sorted(base_programs.items(), key=str):
-        if key not in fresh_programs:
-            failures.append(f"missing row {key}")
-        elif fresh_programs[key] != program:
+    for (benchmark, mode), program in sorted(base_programs.items(), key=str):
+        if (benchmark, mode) not in fresh_programs:
+            failures.append(f"benchmark {benchmark!r} mode {mode!r}: row missing from fresh report")
+            continue
+        fresh_program = fresh_programs[(benchmark, mode)]
+        if fresh_program != program:
             failures.append(
-                f"program drift in {key}:\n  baseline: {program}\n  fresh:    {fresh_programs[key]}"
+                f"program drift in benchmark {benchmark!r} mode {mode!r}:\n"
+                + program_diff(benchmark, mode, program, fresh_program)
             )
 
     # Deterministic counters: identical code must produce identical counts, so

@@ -29,9 +29,12 @@ def main() -> None:
     bench = compare_benchmark(constant_time=True)
     public = (3, 1, 4, 1)
 
-    constant_time = synthesize(bench.goal, SynthesisConfig.constant_resource(**bench.config_overrides))
+    constant_time = synthesize(
+        bench.goal, SynthesisConfig.constant_resource(**bench.config_overrides)
+    )
     print("constant-resource program:", constant_time.program)
-    print("cost for secrets of length 0..8:", timing_profile(bench.goal, constant_time.program, public))
+    profile = timing_profile(bench.goal, constant_time.program, public)
+    print("cost for secrets of length 0..8:", profile)
     print()
 
     leaky = synthesize(bench.goal, SynthesisConfig.resyn(**bench.config_overrides))

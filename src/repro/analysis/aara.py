@@ -16,11 +16,9 @@ the inferred linear bound ``q1*|arg1| + q2*|arg2| + q0``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from repro.constraints.cegis import CegisSolver
-from repro.constraints.store import ConstraintStore, fresh_coefficient_var
 from repro.core.goals import SynthesisGoal
 from repro.core.synthesizer import with_default_cost
 from repro.lang import syntax as s
@@ -60,7 +58,11 @@ def infer_linear_bound(
     body = schema.body
     assert isinstance(body, ArrowType)
     params = body.params()
-    list_params = [name for name, ptype in params if isinstance(ptype, RType) and isinstance(ptype.base, ListBase)]
+    list_params = [
+        name
+        for name, ptype in params
+        if isinstance(ptype, RType) and isinstance(ptype.base, ListBase)
+    ]
 
     # Try candidate coefficient vectors in order of increasing total potential.
     candidates = _coefficient_vectors(len(list_params), max_coefficient)
@@ -100,7 +102,11 @@ def _annotate_goal(schema: TypeSchema, potentials: Dict[str, int]) -> TypeSchema
 
     def rebuild(arrow: ArrowType) -> ArrowType:
         ptype = arrow.param_type
-        if isinstance(ptype, RType) and isinstance(ptype.base, ListBase) and arrow.param in potentials:
+        if (
+            isinstance(ptype, RType)
+            and isinstance(ptype.base, ListBase)
+            and arrow.param in potentials
+        ):
             ptype = ptype.with_elem_potential(t.IntConst(potentials[arrow.param]))
         result = arrow.result
         if isinstance(result, ArrowType):

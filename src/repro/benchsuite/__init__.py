@@ -7,6 +7,12 @@ from repro.benchsuite.definitions import (
     table1_benchmarks,
     table2_benchmarks,
 )
-from repro.benchsuite.runner import BenchmarkRow, format_rows, measured_bound, run_benchmark, run_table
+from repro.benchsuite.runner import (
+    BenchmarkRow,
+    format_rows,
+    measured_bound,
+    run_benchmark,
+    run_table,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.components import library
 from repro.core.config import SynthesisConfig
@@ -107,8 +107,8 @@ def triple_benchmark(slow_variant: bool = False) -> Benchmark:
     """Benchmarks 1-2: append three copies of a list (Fig. 3)."""
     per_element = 2
     component = "append2" if slow_variant else "append"
-    l = t.data_var("l")
-    goal_ref = t.len_(NU_DATA).eq(t.len_(l) + t.len_(l) + t.len_(l))
+    arg = t.data_var("l")
+    goal_ref = t.len_(NU_DATA).eq(t.len_(arg) + t.len_(arg) + t.len_(arg))
     goal = SynthesisGoal.create(
         "triple",
         TypeSchema(
@@ -331,7 +331,9 @@ def is_empty_benchmark() -> Benchmark:
     xs = t.data_var("xs")
     goal = SynthesisGoal.create(
         "isEmpty",
-        TypeSchema(("a",), arrow(("xs", list_type(elem(1))), bool_type(t.Iff(NU_BOOL, t.len_(xs).eq(0))))),
+        TypeSchema(
+            ("a",), arrow(("xs", list_type(elem(1))), bool_type(t.Iff(NU_BOOL, t.len_(xs).eq(0))))
+        ),
         library(),
     )
     return Benchmark(
@@ -382,7 +384,9 @@ def append_benchmark() -> Benchmark:
         "appendLists",
         TypeSchema(
             ("a",),
-            arrow(("xs", list_type(elem(1))), ("ys", list_type(elem())), list_type(elem(), goal_ref)),
+            arrow(
+                ("xs", list_type(elem(1))), ("ys", list_type(elem())), list_type(elem(), goal_ref)
+            ),
         ),
         library(),
     )

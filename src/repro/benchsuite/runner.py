@@ -29,8 +29,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.empirical import fit_bound, is_constant_resource, measure_cost
-from repro.benchsuite.definitions import Benchmark, fast_benchmarks, table1_benchmarks, table2_benchmarks
+from repro.analysis.empirical import fit_bound, measure_cost
+from repro.benchsuite.definitions import Benchmark, table1_benchmarks, table2_benchmarks
 from repro.core import SynthesisConfig, synthesize
 from repro.core.goals import SynthesisResult
 from repro.lang import syntax as s

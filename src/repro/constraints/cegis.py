@@ -29,7 +29,7 @@ from repro.smt.linexpr import Constraint as LinConstraint
 from repro.smt.linexpr import LinExpr
 from repro.smt.encoder import linearize
 from repro.smt.lia import check_integer_feasible
-from repro.smt.solver import Model, Solver
+from repro.smt.solver import Solver
 
 
 @dataclass
@@ -112,7 +112,9 @@ class CegisSolver:
     solution).
     """
 
-    def __init__(self, solver: Optional[Solver] = None, incremental: bool = True, max_rounds: int = 40) -> None:
+    def __init__(
+        self, solver: Optional[Solver] = None, incremental: bool = True, max_rounds: int = 40
+    ) -> None:
         self.solver = solver or Solver()
         self.incremental = incremental
         self.max_rounds = max_rounds
@@ -127,6 +129,25 @@ class CegisSolver:
         self._inst_cache: Dict[Tuple[Term, Tuple[Tuple[str, int], ...]], Term] = {}
 
     # -- public API -------------------------------------------------------
+    def cache_report(self) -> Dict[str, float]:
+        """CEGIS cache counters for the harness (`SynthesisResult.stats`).
+
+        The verification and grounding queries ride on the shared
+        :class:`~repro.smt.solver.Solver` (and therefore on its incremental
+        encoder's shared Tseitin gate cache): the synthesizer hands the same
+        solver instance to the type checker and to this CEGIS loop, so
+        subformulas encoded while type checking replay for free inside
+        verification queries and vice versa.  The gate-cache hit counters
+        themselves are reported once, by ``Solver.cache_report``.
+        """
+        return {
+            "cegis_verification_queries": self.stats.verification_queries,
+            "cegis_synthesis_queries": self.stats.synthesis_queries,
+            "cegis_counterexamples": self.stats.counterexamples,
+            "cegis_grounding_hit_rate": round(self.stats.grounding_hit_rate(), 4),
+            "cegis_ground_cache_size": len(self._ground_cache),
+        }
+
     def reset(self) -> None:
         """Forget the accumulated solution and examples."""
         self.solution = {}
@@ -215,7 +236,12 @@ class CegisSolver:
     def _is_violated(self, rc: ResourceConstraint, example: Example) -> bool:
         """Whether ``rc`` (under the current solution) is violated by ``example``."""
         instantiated = self._instantiated_expr(rc, self.solution)
-        query = t.conj(rc.guard, (instantiated < 0) if not rc.equality else t.disj(instantiated < 0, instantiated > 0))
+        violation = (
+            (instantiated < 0)
+            if not rc.equality
+            else t.disj(instantiated < 0, instantiated > 0)
+        )
+        query = t.conj(rc.guard, violation)
         grounded = example.substitute_into(query)
         try:
             return self.solver.check_sat(grounded) is not None
@@ -301,7 +327,9 @@ class CegisSolver:
         self._ground_cache[key] = constraints
         return constraints
 
-    def _ground_constraint_uncached(self, rc: ResourceConstraint, example: Example) -> List[LinConstraint]:
+    def _ground_constraint_uncached(
+        self, rc: ResourceConstraint, example: Example
+    ) -> List[LinConstraint]:
         guard = example.substitute_into(rc.guard)
         try:
             if self.solver.check_sat(guard) is None:

@@ -23,7 +23,7 @@ corresponding solver:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.logic import terms as t
@@ -90,9 +90,7 @@ def solve_horn(
     # Least-fixpoint iteration: start from the strongest candidate (conjunction
     # of all qualifiers) and drop qualifiers that are not implied by the
     # clause bodies.
-    assignment: Dict[str, Term] = {
-        u.name: t.conj(*qualifiers.get(u.name, ())) for u in unknowns
-    }
+    assignment: Dict[str, Term] = {u.name: t.conj(*qualifiers.get(u.name, ())) for u in unknowns}
     for _ in range(max_iterations):
         changed = False
         for clause in clauses:
@@ -102,7 +100,6 @@ def solve_horn(
             body = _body_formula(clause, assignment)
             kept: List[Term] = []
             current = qualifiers.get(head.unknown.name, ())
-            inverse = {b: a for a, b in head.renaming}
             for qualifier in current:
                 if not _qualifier_kept(assignment, head.unknown.name, qualifier):
                     continue
@@ -148,7 +145,9 @@ def _qualifier_kept(assignment: Mapping[str, Term], name: str, qualifier: Term) 
     current = assignment.get(name, t.TRUE)
     if isinstance(current, t.And):
         return qualifier in current.args
-    return current == qualifier or (isinstance(current, t.BoolConst) and current.value is True and False)
+    # A BoolConst assignment (TRUE after every qualifier was dropped, or a
+    # degenerate FALSE) keeps no individual qualifier.
+    return current == qualifier
 
 
 def default_qualifiers(scope: Sequence[Term]) -> List[Term]:

@@ -14,7 +14,7 @@ and friends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 from repro.logic import terms as t
 from repro.logic.sorts import BOOL, DATA, INT
@@ -23,15 +23,12 @@ from repro.semantics.values import Builtin, Value
 from repro.typing.types import (
     ArrowType,
     NU_NAME,
-    RType,
     TypeSchema,
     arrow,
     bool_type,
     int_type,
     list_type,
     monotype,
-    nat_type,
-    slist_type,
     tvar_type,
 )
 
@@ -69,7 +66,9 @@ def _nu_data() -> t.Var:
 # ---------------------------------------------------------------------------
 
 
-def comparison(name: str, relation: Callable[[Term, Term], Term], impl: Callable[[int, int], bool]) -> Component:
+def comparison(
+    name: str, relation: Callable[[Term, Term], Term], impl: Callable[[int, int], bool]
+) -> Component:
     """A polymorphic comparison component ``x -> y -> {Bool | nu <=> x R y}``."""
     x = t.Var("x", INT)
     y = t.Var("y", INT)
@@ -150,7 +149,9 @@ ABS = Component(
     monotype(
         arrow(
             ("x", int_type()),
-            int_type(t.conj(_nu() >= 0, t.disj(_nu().eq(t.Var("x", INT)), _nu().eq(-t.Var("x", INT))))),
+            int_type(
+                t.conj(_nu() >= 0, t.disj(_nu().eq(t.Var("x", INT)), _nu().eq(-t.Var("x", INT))))
+            ),
         )
     ),
     lambda x: abs(x),
@@ -169,16 +170,16 @@ def member_component(potential: int = 1) -> Component:
     linear scan (one recursive call per element), Sec. 2.3.
     """
     x = t.Var("x", INT)
-    l = t.Var("l", DATA)
+    arg = t.Var("l", DATA)
     schema = TypeSchema(
         ("a",),
         arrow(
             ("x", tvar_type("a")),
             ("l", list_type(tvar_type("a", potential=t.IntConst(potential)))),
-            bool_type(t.Iff(_nu_bool(), t.SetMember(x, t.elems(l)))),
+            bool_type(t.Iff(_nu_bool(), t.SetMember(x, t.elems(arg)))),
         ),
     )
-    return Component("member", schema, lambda x, l: x in l, runtime_cost=lambda x, l: len(l))
+    return Component("member", schema, lambda x, xs: x in xs, runtime_cost=lambda x, xs: len(xs))
 
 
 MEMBER = member_component()

@@ -44,7 +44,9 @@ class SynthesisConfig:
     def resyn(**overrides) -> "SynthesisConfig":
         """ReSyn: resource-guided synthesis with incremental CEGIS."""
         config = SynthesisConfig(
-            checker=CheckerConfig(resource_aware=True, check_termination=False, incremental_cegis=True)
+            checker=CheckerConfig(
+                resource_aware=True, check_termination=False, incremental_cegis=True
+            )
         )
         return replace(config, **overrides)
 

@@ -7,9 +7,8 @@ the inputs that ReSyn takes (Sec. 1, "The ReSyn Synthesizer").
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.components import Component, builtins_of, schemas_of
 from repro.lang import syntax as s
@@ -84,7 +83,8 @@ class SynthesisResult:
 
     def __str__(self) -> str:
         status = str(self.program) if self.program else "<no solution>"
-        return f"{self.goal.name} [{self.seconds:.2f}s, {self.candidates_checked} candidates]: {status}"
+        summary = f"{self.goal.name} [{self.seconds:.2f}s, {self.candidates_checked} candidates]"
+        return f"{summary}: {status}"
 
     # ------------------------------------------------------------------
     # Wire format

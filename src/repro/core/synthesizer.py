@@ -37,12 +37,10 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.constraints.cegis import CegisSolver
 from repro.constraints.store import ConstraintStore
-from repro.core.components import Component
 from repro.core.config import SynthesisConfig
 from repro.core.goals import SynthesisGoal, SynthesisResult
 from repro.lang import syntax as s
@@ -143,14 +141,18 @@ class Synthesizer:
     def _collect_stats(self, counters_before: Dict[str, float]) -> Dict[str, float]:
         """Aggregate query counts and cache hit rates from every layer.
 
-        The solver/encoder/CEGIS stats are per-instance and therefore per-run;
-        the LIA/SAT/scaling counters are process-wide (see
+        The solver/encoder/CEGIS stats are per-instance and therefore per-run
+        (including the shared Tseitin gate-cache traffic of the incremental
+        encoder: ``gate_cache_queries``/``gate_cache_hits``/
+        ``gate_cache_hit_rate``/``gate_clauses_reused``); the LIA/SAT/scaling
+        counters are process-wide (see
         :func:`repro.smt.solver.theory_counters`), so they are reported as
         deltas over this run: feasibility-cache traffic, Fourier-Motzkin
         eliminations/tightenings, unsat-core counts and average size, and the
         SAT engine's decisions/conflicts/VSIDS bumps/learned-clause churn.
         """
         report = self.solver.cache_report()
+        report.update(self.cegis.cache_report())
         deltas = {
             key: value - counters_before.get(key, 0)
             for key, value in theory_counters().items()
@@ -165,9 +167,6 @@ class Synthesizer:
                 "eterm_checks": self.checker.stats.eterm_checks,
                 "subtype_queries": self.checker.stats.subtype_queries,
                 "resource_constraints": self.checker.stats.resource_constraints,
-                "cegis_verification_queries": self.cegis.stats.verification_queries,
-                "cegis_synthesis_queries": self.cegis.stats.synthesis_queries,
-                "cegis_grounding_hit_rate": round(self.cegis.stats.grounding_hit_rate(), 4),
                 "lia_cache_hit_rate": round(lia_hits / lia_queries, 4) if lia_queries else 0.0,
                 "scaling_cache_hit_rate": round(
                     deltas["scaling_cache_hits"] / scaling_queries, 4
@@ -183,7 +182,8 @@ class Synthesizer:
         """Generator of complete programs satisfying the goal (lazily)."""
         ctx, result_type = self.checker.initial_context(self.goal.name, self.schema)
         params = self.goal.param_names()
-        for body in self._solutions(ctx, result_type, self.config.max_match_depth, self.config.max_cond_depth):
+        depths = (self.config.max_match_depth, self.config.max_cond_depth)
+        for body in self._solutions(ctx, result_type, *depths):
             yield s.Fix(self.goal.name, params, body)
 
     def _enumerate_and_check(self) -> Optional[s.Fix]:
@@ -195,7 +195,9 @@ class Synthesizer:
             incremental_cegis=True,
         )
         for program in self._programs():
-            verifier = TypeChecker(self.goal.component_schemas(), verifier_config, solver=self.solver)
+            verifier = TypeChecker(
+                self.goal.component_schemas(), verifier_config, solver=self.solver
+            )
             if verifier.check_program(program, self.schema):
                 return program
         return None
@@ -261,7 +263,9 @@ class Synthesizer:
                 continue
             guard_term, guarded_ctx = prepared
             # Skip guards already decided by the path condition.
-            if self.checker.entails(guarded_ctx, guard_term) or self.checker.entails(guarded_ctx, t.neg(guard_term)):
+            if self.checker.entails(guarded_ctx, guard_term) or self.checker.entails(
+                guarded_ctx, t.neg(guard_term)
+            ):
                 self.store.pop(marker)
                 continue
             then_ctx = guarded_ctx.with_path(guard_term)
@@ -378,7 +382,9 @@ class Synthesizer:
             arg_choices: List[List[s.Expr]] = []
             for ptype in param_types:
                 assert isinstance(ptype, RType)
-                choices = self._terms_of_base(ctx, ptype.base, depth - 1, allow_recursion=allow_recursion)
+                choices = self._terms_of_base(
+                    ctx, ptype.base, depth - 1, allow_recursion=allow_recursion
+                )
                 arg_choices.append(choices)
             if any(not choices for choices in arg_choices):
                 continue

@@ -31,8 +31,8 @@ second built-in inductive type with :class:`Leaf`, :class:`Node` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 
 class Expr:

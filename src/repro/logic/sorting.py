@@ -9,7 +9,7 @@ tests that validate hand-written component libraries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.logic import terms as t
 from repro.logic.sorts import BOOL, DATA, INT, SET, Sort
@@ -144,7 +144,9 @@ def _sort_of(term: Term, env: SortEnv) -> Sort:
             if expected == DATA:
                 continue  # any program value can be the argument of a measure
             if expected != actual and not (expected.is_numeric and actual.is_numeric):
-                raise SortError(f"argument {arg} of {term.func} has sort {actual}, expected {expected}")
+                raise SortError(
+                    f"argument {arg} of {term.func} has sort {actual}, expected {expected}"
+                )
         return signature.result_sort
     if isinstance(term, t.EmptySet):
         return SET

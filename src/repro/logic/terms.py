@@ -37,7 +37,7 @@ regression tests that compare the cached and uncached pipelines).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.logic.sorts import BOOL, DATA, INT, SET, Sort
 

@@ -1,7 +1,29 @@
 """Cost semantics of Re2: values, interpreter, executable refinements."""
 
-from repro.semantics.interpreter import CostModel, EvalResult, EvaluationError, Interpreter, OutOfFuel, evaluate
-from repro.semantics.refinements import RefinementEvalError, eval_measure, eval_term, holds, potential_value
-from repro.semantics.values import Builtin, Closure, LEAF, VTree, Value, list_to_value, tree_from_sorted, value_to_list
+from repro.semantics.interpreter import (
+    CostModel,
+    EvalResult,
+    EvaluationError,
+    Interpreter,
+    OutOfFuel,
+    evaluate,
+)
+from repro.semantics.refinements import (
+    RefinementEvalError,
+    eval_measure,
+    eval_term,
+    holds,
+    potential_value,
+)
+from repro.semantics.values import (
+    Builtin,
+    Closure,
+    LEAF,
+    VTree,
+    Value,
+    list_to_value,
+    tree_from_sorted,
+    value_to_list,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

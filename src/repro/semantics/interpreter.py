@@ -202,6 +202,8 @@ class Interpreter:
         raise EvaluationError(f"{name} is not a function: {callee!r}")
 
 
-def evaluate(expr: s.Expr, env: Optional[Dict[str, Value]] = None, cost_model: Optional[CostModel] = None) -> EvalResult:
+def evaluate(
+    expr: s.Expr, env: Optional[Dict[str, Value]] = None, cost_model: Optional[CostModel] = None
+) -> EvalResult:
     """Convenience wrapper: evaluate an expression with a fresh interpreter."""
     return Interpreter(cost_model).run(expr, env)

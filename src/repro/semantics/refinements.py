@@ -12,7 +12,7 @@ the corresponding evaluator over runtime values.  It is used to
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Mapping
 
 from repro.logic import terms as t
 from repro.logic.terms import Term

@@ -27,7 +27,7 @@ import json
 import os
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 CACHE_FORMAT_VERSION = 1
@@ -127,7 +127,11 @@ class ResultCache:
                 self._count += 1
         self._atomic_write(path, entry)
         self.stats.stores += 1
-        if self.max_entries is not None and self._count is not None and self._count > self.max_entries:
+        if (
+            self.max_entries is not None
+            and self._count is not None
+            and self._count > self.max_entries
+        ):
             self._evict()
 
     def update(self, fingerprint: str, **fields: object) -> bool:

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.logic import terms as t
@@ -68,9 +67,17 @@ class EncoderStats:
     encode_cache_hits: int = 0
     preprocess_calls: int = 0
     preprocess_cache_hits: int = 0
+    #: shared Tseitin gate cache traffic (per formula node, atoms included).
+    gate_queries: int = 0
+    gate_hits: int = 0
+    #: clauses replayed from the gate cache instead of being rebuilt.
+    gate_clauses_reused: int = 0
 
     def encode_hit_rate(self) -> float:
         return self.encode_cache_hits / self.encode_calls if self.encode_calls else 0.0
+
+    def gate_hit_rate(self) -> float:
+        return self.gate_hits / self.gate_queries if self.gate_queries else 0.0
 
 
 #: Module-wide cache switch (also gates the per-node preprocessing memos).
@@ -162,7 +169,10 @@ def encode(formula: Term, use_cache: Optional[bool] = None) -> Encoding:
             # their encoding (blocking clauses etc.) without poisoning the
             # cache.  The clause tuples themselves are immutable.
             return Encoding(
-                cached.cnf.copy(), dict(cached.linear_atoms), dict(cached.bool_atoms), cached.trivial
+                cached.cnf.copy(),
+                dict(cached.linear_atoms),
+                dict(cached.bool_atoms),
+                cached.trivial,
             )
     preprocessed = _preprocess(formula)
     if isinstance(preprocessed, t.BoolConst):
@@ -207,6 +217,25 @@ class FormulaEncoding:
     lemma_seen: set = field(default_factory=set)
 
 
+@dataclass
+class _GateEntry:
+    """The shared-cache record of one encoded formula node.
+
+    ``literal`` is the node's Tseitin literal against the encoder's persistent
+    variable space; ``clauses`` are the node's *own* gate clauses (children
+    keep theirs in their own entries — replay recurses through ``deps``);
+    ``lin_atoms``/``bool_atoms`` are the theory atoms registered directly by
+    this node, and ``max_var`` the largest variable the replay introduces.
+    """
+
+    literal: int
+    clauses: Tuple[Tuple[int, ...], ...]
+    lin_atoms: Tuple[Tuple[int, LinExpr], ...]
+    bool_atoms: Tuple[Tuple[int, Term], ...]
+    deps: Tuple[Term, ...]
+    max_var: int
+
+
 class IncrementalEncoder:
     """Persistent encoder whose atom table is shared across queries.
 
@@ -216,6 +245,15 @@ class IncrementalEncoder:
     a blocking clause learned while solving one query speaks about the same
     variables in every later query, so the solver can replay it wherever the
     lemma's atoms all occur (see ``Solver._sync_lemmas``).
+
+    On top of the atom table sits the **shared Tseitin gate cache**
+    (``_gate_cache``): every non-atom formula node keeps its gate output
+    variable and defining clauses for the lifetime of the encoder, keyed on
+    the hash-consed (interned) term.  A subformula that reappears in a later
+    query — the norm across CEGIS iterations and enumeration branches, which
+    re-check conjunctions sharing most of their structure — is *replayed*:
+    its existing clauses are appended to the new formula's clause group with
+    no new auxiliary variables and no newly built clause tuples.
     """
 
     def __init__(self) -> None:
@@ -225,11 +263,17 @@ class IncrementalEncoder:
         self.linear_atoms: Dict[int, LinExpr] = {}
         self.bool_atoms: Dict[int, Term] = {}
         self._cache: Dict[Term, FormulaEncoding] = {}
+        #: shared Tseitin gate cache: preprocessed node -> gate entry.
+        self._gate_cache: Dict[Term, _GateEntry] = {}
         self.stats = EncoderStats()
 
     def new_var(self) -> int:
         self._counter += 1
         return self._counter
+
+    def forget_formulas(self) -> None:
+        """Drop the per-formula encodings, keeping atoms and gates (tests)."""
+        self._cache.clear()
 
     def encode(self, formula: Term) -> FormulaEncoding:
         self.stats.encode_calls += 1
@@ -237,6 +281,10 @@ class IncrementalEncoder:
         if cached is not None:
             self.stats.encode_cache_hits += 1
             return cached
+        # Bound the gate cache *between* formula builds only: mid-build
+        # eviction could orphan a parent entry whose children are gone.
+        if len(self._gate_cache) >= _MODULE_CACHE_MAX:
+            self._gate_cache.clear()
         preprocessed = _preprocess(formula)
         if isinstance(preprocessed, t.BoolConst):
             encoding = FormulaEncoding(0, CNF(), {}, {}, frozenset(), trivial=preprocessed.value)
@@ -357,7 +405,11 @@ def _expand_data_equalities(formula: Term) -> Term:
     apps = t.apps_in(formula)
 
     def expand(term: Term) -> Term:
-        if isinstance(term, t.Eq) and _term_sort(term.left) == DATA and _term_sort(term.right) == DATA:
+        if (
+            isinstance(term, t.Eq)
+            and _term_sort(term.left) == DATA
+            and _term_sort(term.right) == DATA
+        ):
             return _measure_equalities(term.left, term.right, apps)
         children = term.children()
         if not children:
@@ -383,7 +435,10 @@ def _measure_equalities(left: Term, right: Term, apps: frozenset[t.App]) -> Term
     for app in apps:
         if len(app.args) == 2 and app.args[1] in (left, right):
             clauses.append(
-                t.Eq(t.App(app.func, (app.args[0], left), app.sort), t.App(app.func, (app.args[0], right), app.sort))
+                t.Eq(
+                    t.App(app.func, (app.args[0], left), app.sort),
+                    t.App(app.func, (app.args[0], right), app.sort),
+                )
             )
     return t.conj(*clauses)
 
@@ -461,7 +516,19 @@ def _ground_sets(formula: Term, fresh: _FreshNames) -> Term:
 
 def _mentions_sets(formula: Term) -> bool:
     return any(
-        isinstance(sub, (t.SetMember, t.SetSubset, t.SetAll, t.EmptySet, t.SetSingleton, t.SetUnion, t.SetIntersect, t.SetDiff))
+        isinstance(
+            sub,
+            (
+                t.SetMember,
+                t.SetSubset,
+                t.SetAll,
+                t.EmptySet,
+                t.SetSingleton,
+                t.SetUnion,
+                t.SetIntersect,
+                t.SetDiff,
+            ),
+        )
         or (isinstance(sub, t.Eq) and _is_set_sorted(sub.left))
         for sub in formula.walk()
     )
@@ -568,7 +635,9 @@ def _element_congruence_axioms(grounded: Term, universe: List[Term]) -> List[Ter
     """``e1 = e2 ==> (e1 ∈ S <=> e2 ∈ S)`` for base sets S in the query."""
     base_sets = list(
         dict.fromkeys(
-            sub.args[1] for sub in grounded.walk() if isinstance(sub, t.App) and sub.func == MEMBER_FUNC
+            sub.args[1]
+            for sub in grounded.walk()
+            if isinstance(sub, t.App) and sub.func == MEMBER_FUNC
         )
     )
     axioms: List[Term] = []
@@ -577,7 +646,10 @@ def _element_congruence_axioms(grounded: Term, universe: List[Term]) -> List[Ter
             axioms.append(
                 t.implies(
                     t.Eq(e1, e2),
-                    t.Iff(t.App(MEMBER_FUNC, (e1, base), BOOL), t.App(MEMBER_FUNC, (e2, base), BOOL)),
+                    t.Iff(
+                        t.App(MEMBER_FUNC, (e1, base), BOOL),
+                        t.App(MEMBER_FUNC, (e2, base), BOOL),
+                    ),
                 )
             )
     return axioms
@@ -588,15 +660,30 @@ def _element_congruence_axioms(grounded: Term, universe: List[Term]) -> List[Ter
 # ---------------------------------------------------------------------------
 
 
+class _Frame:
+    """Capture record for one gate-cache miss (one formula node being built)."""
+
+    __slots__ = ("clauses", "lin_atoms", "bool_atoms", "deps")
+
+    def __init__(self) -> None:
+        self.clauses: List[Tuple[int, ...]] = []
+        self.lin_atoms: List[Tuple[int, LinExpr]] = []
+        self.bool_atoms: List[Tuple[int, Term]] = []
+        self.deps: List[Term] = []
+
+
 class _CnfBuilder:
     """Tseitin transformation; atoms become SAT variables.
 
     Standalone builders own their variable counter and atom table (one-shot
     :func:`encode`).  When constructed with ``shared``, theory-atom variables
     come from the :class:`IncrementalEncoder`'s persistent table — the same
-    atom in two formulas maps to the same variable — while gate variables are
-    still drawn from the shared counter (so all clause groups live in one
-    variable space) and gate clauses stay per-formula.
+    atom in two formulas maps to the same variable — gate variables are drawn
+    from the shared counter (so all clause groups live in one variable
+    space), and every non-atom node consults the encoder's persistent gate
+    cache: a node already encoded by *any* earlier formula replays its cached
+    literal and clause tuples into this formula's clause group instead of
+    allocating fresh auxiliary variables and rebuilding clauses.
     """
 
     def __init__(self, shared: Optional[IncrementalEncoder] = None) -> None:
@@ -606,6 +693,8 @@ class _CnfBuilder:
         self.bool_atoms: Dict[int, Term] = {}
         self._atom_cache: Dict[object, int] = shared._atom_cache if shared else {}
         self._node_cache: Dict[Term, int] = {}
+        #: capture stack: one frame per in-flight gate-cache miss.
+        self._frames: List[_Frame] = []
 
     def _new_var(self) -> int:
         if self._shared is not None:
@@ -617,7 +706,7 @@ class _CnfBuilder:
 
     # -- atoms ------------------------------------------------------------
     def _linear_atom_var(self, expr: LinExpr) -> int:
-        key = ("lin", expr.coeffs, expr.constant)
+        key = ("lin", expr)
         var = self._atom_cache.get(key)
         if var is None:
             var = self._new_var()
@@ -625,6 +714,8 @@ class _CnfBuilder:
             if self._shared is not None:
                 self._shared.linear_atoms[var] = expr
         self.linear_atoms.setdefault(var, expr)
+        if self._frames:
+            self._frames[-1].lin_atoms.append((var, expr))
         return var
 
     def _bool_atom_var(self, atom: Term) -> int:
@@ -636,20 +727,95 @@ class _CnfBuilder:
             if self._shared is not None:
                 self._shared.bool_atoms[var] = atom
         self.bool_atoms.setdefault(var, atom)
+        if self._frames:
+            self._frames[-1].bool_atoms.append((var, atom))
         return var
 
     # -- formula structure --------------------------------------------------
     def literal_for(self, term: Term) -> int:
-        if term in self._node_cache:
-            return self._node_cache[term]
-        literal = self._build(term)
+        frames = self._frames
+        if frames:
+            frames[-1].deps.append(term)
+        literal = self._node_cache.get(term)
+        if literal is not None:
+            return literal
+        shared = self._shared
+        if shared is None:
+            literal = self._build(term)
+            self._node_cache[term] = literal
+            return literal
+        shared.stats.gate_queries += 1
+        entry = shared._gate_cache.get(term)
+        if entry is not None:
+            shared.stats.gate_hits += 1
+            self._replay(term, entry)
+            return entry.literal
+        frame = _Frame()
+        frames.append(frame)
+        try:
+            literal = self._build(term)
+        finally:
+            frames.pop()
         self._node_cache[term] = literal
+        max_var = abs(literal)
+        for clause in frame.clauses:
+            for lit in clause:
+                if lit > max_var:
+                    max_var = lit
+                elif -lit > max_var:
+                    max_var = -lit
+        shared._gate_cache[term] = _GateEntry(
+            literal,
+            tuple(frame.clauses),
+            tuple(frame.lin_atoms),
+            tuple(frame.bool_atoms),
+            tuple(frame.deps),
+            max_var,
+        )
         return literal
+
+    def _replay(self, term: Term, entry: _GateEntry) -> None:
+        """Emit a cached node into this formula: atoms, clauses, children.
+
+        Recursion goes through the cached dependency list with the formula's
+        node cache as the visited set, so every clause group the subtree needs
+        lands in this formula exactly once — with zero new variables and zero
+        newly constructed clause tuples.
+        """
+        self._node_cache[term] = entry.literal
+        shared = self._shared
+        for dep in entry.deps:
+            if dep in self._node_cache:
+                continue
+            dep_entry = shared._gate_cache.get(dep)
+            if dep_entry is None:
+                # Children are stored before their parents and the cache is
+                # only ever cleared wholesale between formula builds, so a
+                # cached parent implies cached children.  Rebuilding the dep
+                # here would mint a fresh literal while the parent's clauses
+                # still reference the old one — unsound — so fail loudly if
+                # the invariant is ever broken (e.g. by per-entry eviction).
+                raise EncodingError(
+                    f"gate cache invariant violated: dependency {dep} of a cached "
+                    "node is missing (partial eviction is not supported)"
+                )
+            shared.stats.gate_queries += 1
+            shared.stats.gate_hits += 1
+            self._replay(dep, dep_entry)
+        for var, expr in entry.lin_atoms:
+            self.linear_atoms.setdefault(var, expr)
+        for var, atom in entry.bool_atoms:
+            self.bool_atoms.setdefault(var, atom)
+        cnf = self.cnf
+        cnf.clauses.extend(entry.clauses)
+        if entry.max_var > cnf.num_vars:
+            cnf.num_vars = entry.max_var
+        shared.stats.gate_clauses_reused += len(entry.clauses)
 
     def _build(self, term: Term) -> int:
         if isinstance(term, t.BoolConst):
             var = self._new_var()
-            self.cnf.add_clause((var,) if term.value else (-var,))
+            self._emit((var,) if term.value else (-var,))
             return var
         if isinstance(term, t.Not):
             return -self.literal_for(term.arg)
@@ -659,7 +825,8 @@ class _CnfBuilder:
             return self._gate([self.literal_for(a) for a in term.args], is_and=False)
         if isinstance(term, t.Implies):
             return self._gate(
-                [-self.literal_for(term.antecedent), self.literal_for(term.consequent)], is_and=False
+                [-self.literal_for(term.antecedent), self.literal_for(term.consequent)],
+                is_and=False,
             )
         if isinstance(term, t.Iff):
             a = self.literal_for(term.left)
@@ -669,16 +836,24 @@ class _CnfBuilder:
             return self._gate([both, neither], is_and=False)
         return self._atom_literal(term)
 
+    def _emit(self, literals: Tuple[int, ...]) -> None:
+        """Add a clause, crediting it to the node being captured (if any)."""
+        cnf = self.cnf
+        before = len(cnf.clauses)
+        cnf.add_clause(literals)
+        if self._frames and len(cnf.clauses) > before:
+            self._frames[-1].clauses.append(cnf.clauses[-1])
+
     def _gate(self, literals: List[int], is_and: bool) -> int:
         out = self._new_var()
         if is_and:
             for lit in literals:
-                self.cnf.add_clause((-out, lit))
-            self.cnf.add_clause(tuple(-lit for lit in literals) + (out,))
+                self._emit((-out, lit))
+            self._emit(tuple(-lit for lit in literals) + (out,))
         else:
             for lit in literals:
-                self.cnf.add_clause((-lit, out))
-            self.cnf.add_clause((-out,) + tuple(literals))
+                self._emit((-lit, out))
+            self._emit((-out,) + tuple(literals))
         return out
 
     def _atom_literal(self, atom: Term) -> int:

@@ -1,14 +1,19 @@
-"""Reference Fraction-based LIA decision procedure (pre-integer-core).
+"""Reference Fraction-based LIA arithmetic and decision procedure.
 
 This module preserves the original exact-:class:`fractions.Fraction`
-Fourier–Motzkin implementation that :mod:`repro.smt.lia` replaced with the
-integer-scaled engine.  It exists purely as a *test oracle*: the property
-tests in ``tests/test_lia_core.py`` run randomized small systems through both
-engines and assert that the sat/unsat verdicts agree and that returned models
-actually satisfy the constraints.
+implementations that the optimized pipeline replaced:
 
-It is deliberately unoptimized and uncached — do not call it from the
-synthesis pipeline.
+* :class:`RefLinExpr` — the dict-of-Fractions affine expression the
+  int-backed :class:`repro.smt.linexpr.LinExpr` supersedes, used by the A/B
+  property suite in ``tests/test_linexpr_ab.py`` to check that random
+  add/scale/negate chains agree between both representations;
+* :func:`check_integer_feasible_reference` /
+  :func:`check_rational_feasible_reference` — the Fraction-based
+  Fourier–Motzkin engine that :mod:`repro.smt.lia` replaced with the
+  integer-scaled one, used by ``tests/test_lia_core.py`` as a verdict oracle.
+
+Everything here is deliberately unoptimized and uncached — do not call it
+from the synthesis pipeline.
 """
 
 from __future__ import annotations
@@ -19,6 +24,73 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.smt.lia import BudgetExceeded, LIAResult
 from repro.smt.linexpr import Constraint, Key, LinExpr
+
+
+class RefLinExpr:
+    """Fraction-backed affine expression: the pre-int-core ``LinExpr`` model.
+
+    The representation is a plain ``{key: Fraction}`` dict plus a Fraction
+    constant.  Operations mirror the public ``LinExpr`` surface the A/B suite
+    exercises; :meth:`as_linexpr` converts to the int-backed representation
+    and :meth:`int_form` computes the scaled integer form from first
+    principles (LCM of denominators, then GCD of numerators) for round-trip
+    checks against :func:`repro.smt.linexpr.int_form`.
+    """
+
+    def __init__(
+        self, coeffs: Optional[Dict[Key, Fraction]] = None, constant: Fraction | int = 0
+    ) -> None:
+        self.coeffs: Dict[Key, Fraction] = {}
+        for k, v in (coeffs or {}).items():
+            v = Fraction(v)
+            if v != 0:
+                self.coeffs[k] = v
+        self.constant = Fraction(constant)
+
+    def __add__(self, other: "RefLinExpr") -> "RefLinExpr":
+        merged = dict(self.coeffs)
+        for k, v in other.coeffs.items():
+            merged[k] = merged.get(k, Fraction(0)) + v
+        return RefLinExpr(merged, self.constant + other.constant)
+
+    def __sub__(self, other: "RefLinExpr") -> "RefLinExpr":
+        return self + (other * -1)
+
+    def __mul__(self, scalar: Fraction | int) -> "RefLinExpr":
+        scalar = Fraction(scalar)
+        return RefLinExpr(
+            {k: v * scalar for k, v in self.coeffs.items()}, self.constant * scalar
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "RefLinExpr":
+        return self * -1
+
+    def evaluate(self, assignment: Dict[Key, Fraction | int]) -> Fraction:
+        total = self.constant
+        for k, v in self.coeffs.items():
+            total += v * Fraction(assignment.get(k, 0))
+        return total
+
+    def as_linexpr(self) -> LinExpr:
+        return LinExpr.from_dict(self.coeffs, self.constant)
+
+    def int_form(self) -> tuple:
+        """``(sorted_items, constant)`` scaled to primitive integers."""
+        lcm = self.constant.denominator
+        for v in self.coeffs.values():
+            lcm = lcm * v.denominator // math.gcd(lcm, v.denominator)
+        items = {k: v.numerator * (lcm // v.denominator) for k, v in self.coeffs.items()}
+        constant = self.constant.numerator * (lcm // self.constant.denominator)
+        g = abs(constant)
+        for v in items.values():
+            g = math.gcd(g, v)
+        if g > 1:
+            items = {k: v // g for k, v in items.items()}
+            constant //= g
+        ordered = tuple(sorted(items.items(), key=lambda kv: repr(kv[0])))
+        return ordered, constant
 
 
 def check_integer_feasible_reference(
@@ -96,7 +168,7 @@ def _solve_rational(
             return None
         systems.append(eliminated)
     for expr in systems[-1]:
-        if expr.constant > 0:
+        if expr.const_num > 0:
             return None
     assignment: Dict[Key, Fraction] = {}
     for index in range(len(order) - 1, -1, -1):
@@ -140,13 +212,13 @@ def _prune(exprs: List[LinExpr]) -> Optional[List[LinExpr]]:
     result: List[LinExpr] = []
     for expr in exprs:
         if expr.is_constant():
-            if expr.constant > 0:
+            # den is positive, so the sign lives entirely in const_num.
+            if expr.const_num > 0:
                 return None
             continue
-        key = (expr.coeffs, expr.constant)
-        if key in seen:
+        if expr in seen:
             continue
-        seen.add(key)
+        seen.add(expr)
         result.append(expr)
     return result
 

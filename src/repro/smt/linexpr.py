@@ -1,9 +1,19 @@
-"""Linear expressions over named variables with exact rational coefficients.
+"""Linear expressions over named variables, backed by pure-int arithmetic.
 
 This is the shared currency of the LIA decision procedure
 (:mod:`repro.smt.lia`), the SMT encoder and the resource-constraint solver:
-an affine expression ``c0 + c1*x1 + ... + cn*xn`` represented as a mapping
-from variable keys to :class:`fractions.Fraction` coefficients plus a constant.
+an affine expression ``c0 + c1*x1 + ... + cn*xn``.
+
+Coefficients are stored as a normalized ``(numerator_tuple, common
+denominator)`` pair: ``nums`` maps variable keys to integer numerators over
+the single positive ``den``, and ``const_num`` is the constant's numerator
+over the same ``den``.  The hot operations (:meth:`LinExpr.__add__`,
+:meth:`LinExpr.__mul__`, equality/hashing) therefore run as merge-joins and
+scans over machine ints with no :class:`fractions.Fraction` allocation — the
+encoder normalizes thousands of comparisons per query, and ``Fraction``
+churn used to dominate that path.  ``Fraction`` views remain available
+through the :attr:`LinExpr.coeffs` / :attr:`LinExpr.constant` properties for
+the off-hot-path consumers (reference oracle, tests, pretty-printing).
 
 Variable keys are ordinarily strings (program variable names), but any
 hashable key is accepted; the SMT encoder uses refinement-term keys for
@@ -13,9 +23,9 @@ flattened measure applications.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Hashable, Iterable, Mapping, Tuple
+from typing import Dict, Hashable, Mapping, Tuple
 
 
 Key = Hashable
@@ -41,68 +51,118 @@ def _key_order(key: Key) -> str:
 
 @dataclass(frozen=True)
 class LinExpr:
-    """An affine expression ``constant + sum(coeffs[k] * k)``.
+    """The affine expression ``(const_num + sum(nums[k] * k)) / den``.
 
-    Invariant: ``coeffs`` is sorted by the canonical key order
-    (:func:`_key_order`) with no zero coefficients, so structurally equal
-    expressions compare (and hash) equal — the atom table and the scaling
-    cache below rely on this.
+    Invariants (all constructors maintain them, so structurally equal
+    expressions compare and hash equal — the atom table and the feasibility
+    cache rely on this):
+
+    * ``nums`` is sorted by the canonical key order (:func:`_key_order`) with
+      no zero numerators;
+    * ``den`` is positive;
+    * the joint GCD of all numerators, the constant numerator and ``den`` is
+      1 (``den`` is the LCM of the reduced per-coefficient denominators, so
+      the representation of a given rational-coefficient expression is
+      unique).
+
+    The common case throughout the synthesis pipeline is ``den == 1``:
+    every operation takes a pure-int fast path for it.
     """
 
-    coeffs: Tuple[Tuple[Key, Fraction], ...] = ()
-    constant: Fraction = Fraction(0)
+    nums: Tuple[Tuple[Key, int], ...] = ()
+    const_num: int = 0
+    den: int = 1
 
     @staticmethod
     def from_dict(coeffs: Mapping[Key, Fraction | int], constant: Fraction | int = 0) -> "LinExpr":
         """Build a normalized expression, dropping zero coefficients."""
         items = []
+        constant = _as_rational(constant)
+        den = constant.denominator if type(constant) is Fraction else 1
         for k, v in coeffs.items():
-            if type(v) is not Fraction:
-                v = Fraction(v)
-            if v != 0:
+            if v:
+                v = _as_rational(v)
                 items.append((k, v))
+                if type(v) is Fraction:
+                    den = den * v.denominator // math.gcd(den, v.denominator)
         items.sort(key=lambda kv: _key_order(kv[0]))
-        return LinExpr(tuple(items), Fraction(constant))
+        if den == 1:
+            return LinExpr(tuple((k, int(v)) for k, v in items), int(constant), 1)
+        nums = tuple(
+            (k, v.numerator * (den // v.denominator) if type(v) is Fraction else int(v) * den)
+            for k, v in items
+        )
+        if type(constant) is Fraction:
+            const_num = constant.numerator * (den // constant.denominator)
+        else:
+            const_num = int(constant) * den
+        return LinExpr(nums, const_num, den)
 
     @staticmethod
     def const(value: Fraction | int) -> "LinExpr":
-        return LinExpr((), Fraction(value))
+        value = _as_rational(value)
+        if type(value) is Fraction:
+            return LinExpr((), value.numerator, value.denominator)
+        return LinExpr((), value, 1)
 
     @staticmethod
     def var(key: Key, coeff: Fraction | int = 1) -> "LinExpr":
-        coeff = Fraction(coeff)
-        if coeff == 0:
+        if not coeff:
             return LinExpr()
-        return LinExpr(((key, coeff),), Fraction(0))
+        coeff = _as_rational(coeff)
+        if type(coeff) is Fraction:
+            return LinExpr(((key, coeff.numerator),), 0, coeff.denominator)
+        return LinExpr(((key, coeff),), 0, 1)
+
+    # -- Fraction views (compatibility; off the hot path) -----------------
+    @property
+    def coeffs(self) -> Tuple[Tuple[Key, Fraction], ...]:
+        """The coefficients as ``(key, Fraction)`` pairs in canonical order."""
+        den = self.den
+        return tuple((k, Fraction(n, den)) for k, n in self.nums)
+
+    @property
+    def constant(self) -> Fraction:
+        return Fraction(self.const_num, self.den)
 
     def as_dict(self) -> Dict[Key, Fraction]:
         return dict(self.coeffs)
 
     @property
     def variables(self) -> Tuple[Key, ...]:
-        return tuple(k for k, _ in self.coeffs)
+        return tuple(k for k, _ in self.nums)
 
     def coefficient(self, key: Key) -> Fraction:
-        for k, v in self.coeffs:
+        for k, n in self.nums:
             if k == key:
-                return v
+                return Fraction(n, self.den)
         return Fraction(0)
 
     def is_constant(self) -> bool:
-        return not self.coeffs
+        return not self.nums
 
     # -- arithmetic ------------------------------------------------------
     def __add__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
         other = _coerce(other)
-        a, b = self.coeffs, other.coeffs
-        constant = self.constant + other.constant
+        d1, d2 = self.den, other.den
+        if d1 == d2:
+            den = d1
+            a, b = self.nums, other.nums
+            constant = self.const_num + other.const_num
+        else:
+            g = math.gcd(d1, d2)
+            den = d1 // g * d2
+            m1, m2 = den // d1, den // d2
+            a = tuple((k, n * m1) for k, n in self.nums)
+            b = tuple((k, n * m2) for k, n in other.nums)
+            constant = self.const_num * m1 + other.const_num * m2
         if not a:
-            return LinExpr(b, constant)
+            return _reduced(b, constant, den)
         if not b:
-            return LinExpr(a, constant)
-        # Both operands are canonically sorted: merge-join instead of
-        # rebuilding a dict and re-sorting (this is the hottest allocation in
-        # the encoder's comparison normalization).
+            return _reduced(a, constant, den)
+        # Both operands are canonically sorted: merge-join over the int
+        # numerators instead of rebuilding a dict and re-sorting (this is the
+        # hottest allocation in the encoder's comparison normalization).
         out: list = []
         i = j = 0
         la, lb = len(a), len(b)
@@ -111,7 +171,7 @@ class LinExpr:
             kb, vb = b[j]
             if ka == kb:
                 total = va + vb
-                if total != 0:
+                if total:
                     out.append((ka, total))
                 i += 1
                 j += 1
@@ -121,9 +181,9 @@ class LinExpr:
                 # Distinct keys with colliding reprs: canonical order is
                 # ambiguous, fall back to the dict-based slow path.
                 merged = self.as_dict()
-                for k, v in b:
+                for k, v in other.coeffs:
                     merged[k] = merged.get(k, Fraction(0)) + v
-                return LinExpr.from_dict(merged, constant)
+                return LinExpr.from_dict(merged, self.constant + other.constant)
             if order_a < order_b:
                 out.append(a[i])
                 i += 1
@@ -132,25 +192,27 @@ class LinExpr:
                 j += 1
         out.extend(a[i:])
         out.extend(b[j:])
-        return LinExpr(tuple(out), constant)
+        return _reduced(tuple(out), constant, den)
 
     def __sub__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
         return self + (_coerce(other) * -1)
 
     def __mul__(self, scalar: int | Fraction) -> "LinExpr":
-        if type(scalar) is not Fraction:
-            scalar = Fraction(scalar)
-        if scalar == 0:
+        if not scalar:
             return LinExpr()
-        return LinExpr(
-            tuple((k, v * scalar) for k, v in self.coeffs),
-            self.constant * scalar,
-        )
+        scalar = _as_rational(scalar)
+        if type(scalar) is Fraction:
+            p, q = scalar.numerator, scalar.denominator
+        else:
+            p, q = scalar, 1
+        nums = tuple((k, n * p) for k, n in self.nums)
+        return _reduced(nums, self.const_num * p, self.den * q)
 
     __rmul__ = __mul__
 
     def __neg__(self) -> "LinExpr":
-        return self * -1
+        # Negation never disturbs the joint-GCD/sign invariants: skip _reduced.
+        return LinExpr(tuple((k, -n) for k, n in self.nums), -self.const_num, self.den)
 
     def substitute(self, assignment: Mapping[Key, Fraction | int]) -> "LinExpr":
         """Replace some variables by concrete values."""
@@ -165,7 +227,7 @@ class LinExpr:
 
     def evaluate(self, assignment: Mapping[Key, Fraction | int]) -> Fraction:
         """Evaluate under a total assignment (missing variables default to 0)."""
-        total = self.constant
+        total = Fraction(self.const_num, self.den)
         for k, v in self.coeffs:
             total += v * Fraction(assignment.get(k, 0))
         return total
@@ -187,9 +249,43 @@ class LinExpr:
                 parts.append(f"-{k}")
             else:
                 parts.append(f"{v}*{k}")
-        if self.constant != 0 or not parts:
+        if self.const_num != 0 or not parts:
             parts.append(str(self.constant))
         return " + ".join(parts).replace("+ -", "- ")
+
+
+def _reduced(nums: Tuple[Tuple[Key, int], ...], const_num: int, den: int) -> LinExpr:
+    """Normalize an int triple: divide out the joint GCD (including ``den``).
+
+    ``den == 1`` (the overwhelmingly common case) is already canonical —
+    nothing divides 1 — so the fast path allocates nothing beyond the result.
+    """
+    if den == 1:
+        return LinExpr(nums, const_num, 1)
+    g = math.gcd(den, const_num)
+    if g > 1:
+        for _, n in nums:
+            g = math.gcd(g, n)
+            if g == 1:
+                break
+    if g > 1:
+        nums = tuple((k, n // g) for k, n in nums)
+        const_num //= g
+        den //= g
+    return LinExpr(nums, const_num, den)
+
+
+def _as_rational(value: "Fraction | int") -> "Fraction | int":
+    """Coerce a numeric scalar to an exact int or Fraction.
+
+    ``int`` (including bool) and ``Fraction`` pass through; anything else
+    (e.g. a float slipping past the annotations) is converted *exactly* via
+    ``Fraction`` instead of being truncated by ``int()`` — the behaviour the
+    Fraction-backed representation used to provide for free.
+    """
+    if type(value) is Fraction or isinstance(value, int):
+        return value
+    return Fraction(value)
 
 
 def _coerce(value: "LinExpr | int | Fraction") -> LinExpr:
@@ -205,7 +301,7 @@ def _coerce(value: "LinExpr | int | Fraction") -> LinExpr:
 
 @dataclass
 class ScalingStats:
-    """Counters for the integer-scaling cache (read by the harness)."""
+    """Counters for the integer-scaling memo (read by the harness)."""
 
     queries: int = 0
     cache_hits: int = 0
@@ -214,14 +310,12 @@ class ScalingStats:
         return self.cache_hits / self.queries if self.queries else 0.0
 
 
-#: Shared scaling cache.  `LinExpr` values are hash-consed upstream (the
-#: encoder's atom table interns one expression per theory atom), so the same
-#: expression is scaled over and over across feasibility queries; caching the
-#: integer form makes the conversion effectively free after the first query.
+#: With the int-backed representation, scaling is a trivial accessor: the
+#: numerators *are* the integer form up to one GCD pass.  The result is
+#: memoized on the expression instance; the counters keep the historical
+#: cache-traffic telemetry alive for the harness.
 scaling_stats = ScalingStats()
 IntForm = Tuple[Tuple[Tuple[Key, int], ...], int]
-_INT_FORM_CACHE: Dict["LinExpr", IntForm] = {}
-_INT_FORM_CACHE_MAX = 1 << 16
 
 
 def int_form(expr: "LinExpr") -> IntForm:
@@ -229,39 +323,32 @@ def int_form(expr: "LinExpr") -> IntForm:
 
     Returns ``(coeff_items, constant)`` where ``coeff_items`` is the tuple of
     ``(key, int_coefficient)`` pairs (in the expression's canonical order) and
-    ``constant`` is an int: the expression multiplied by the LCM of all
-    coefficient denominators and divided by the GCD of the resulting numerators
-    (including the constant).  Both operations multiply/divide by a *positive*
-    scalar, so ``expr <= 0`` holds exactly iff the scaled form is ``<= 0``.
+    ``constant`` is an int: the expression multiplied by its common
+    denominator (dropping ``den`` multiplies by a *positive* scalar, so
+    ``expr <= 0`` holds exactly iff the scaled form is ``<= 0``) and divided
+    by the GCD of the numerators including the constant.
 
-    Results are memoized per expression; callers must treat the returned
-    tuples as read-only.
+    Results are memoized per expression instance; callers must treat the
+    returned tuples as read-only.
     """
     scaling_stats.queries += 1
-    cached = _INT_FORM_CACHE.get(expr)
+    cached = expr.__dict__.get("_int_form")
     if cached is not None:
         scaling_stats.cache_hits += 1
         return cached
-    lcm = expr.constant.denominator
-    for _, coeff in expr.coeffs:
-        lcm = lcm * coeff.denominator // math.gcd(lcm, coeff.denominator)
-    coeffs = tuple((k, coeff.numerator * (lcm // coeff.denominator)) for k, coeff in expr.coeffs)
-    constant = expr.constant.numerator * (lcm // expr.constant.denominator)
-    gcd = abs(constant)
-    for _, coeff in coeffs:
-        gcd = math.gcd(gcd, coeff)
-    if gcd > 1:
-        coeffs = tuple((k, coeff // gcd) for k, coeff in coeffs)
-        constant //= gcd
-    result: IntForm = (coeffs, constant)
-    if len(_INT_FORM_CACHE) >= _INT_FORM_CACHE_MAX:
-        _INT_FORM_CACHE.clear()
-    _INT_FORM_CACHE[expr] = result
+    nums = expr.nums
+    const_num = expr.const_num
+    g = abs(const_num)
+    for _, n in nums:
+        g = math.gcd(g, n)
+        if g == 1:
+            break
+    if g > 1:
+        result: IntForm = (tuple((k, n // g) for k, n in nums), const_num // g)
+    else:
+        result = (nums, const_num)
+    object.__setattr__(expr, "_int_form", result)
     return result
-
-
-def clear_scaling_cache() -> None:
-    _INT_FORM_CACHE.clear()
 
 
 @dataclass(frozen=True)

@@ -260,7 +260,9 @@ class SatSolver:
                 stats.conflicts += 1
                 if not trail_lim:
                     return None  # conflict under unit clauses alone
-                learnt, bt_level = self._analyze(conflict, assign, level, reason, trail, trail_lim, heap)
+                learnt, bt_level = self._analyze(
+                    conflict, assign, level, reason, trail, trail_lim, heap
+                )
                 backtrack(bt_level)
                 if len(learnt) == 1:
                     # Globally valid unit: persists for future solve() calls.
@@ -502,7 +504,9 @@ def solve(cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]
     return model
 
 
-def iter_models(cnf: CNF, blocking_vars: Optional[Sequence[int]] = None) -> Iterator[Dict[int, bool]]:
+def iter_models(
+    cnf: CNF, blocking_vars: Optional[Sequence[int]] = None
+) -> Iterator[Dict[int, bool]]:
     """Enumerate models, blocking each one on ``blocking_vars`` (default: all).
 
     Blocking clauses go to a private copy of the database (callers do not want

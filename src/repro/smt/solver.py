@@ -52,7 +52,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.logic import terms as t
@@ -64,7 +63,6 @@ from repro.smt.encoder import (
     Encoding,
     FormulaEncoding,
     IncrementalEncoder,
-    MEMBER_FUNC,
     encode,
 )
 from repro.smt.lia import BudgetExceeded, check_integer_feasible
@@ -163,6 +161,11 @@ class Solver:
         self._model_cache_size = model_cache_size
         self._encoder = IncrementalEncoder()
         self._lemma_pool: List[sat.Clause] = []
+        #: atom var -> negated linear atom (``expr >= 1`` as ``-expr+1 <= 0``).
+        #: Atom vars are unique per encoder, so memoizing the negation keeps
+        #: one stable LinExpr instance per atom across theory checks — which
+        #: also keeps the per-instance integer-scaling memos hot.
+        self._negated_atoms: Dict[int, LinExpr] = {}
 
     # -- public API -------------------------------------------------------
     def check_sat(self, formula: Term) -> Optional[Model]:
@@ -230,6 +233,10 @@ class Solver:
             "valid_cache_hit_rate": round(self.stats.valid_cache_hit_rate(), 4),
             "model_cache_hit_rate": round(self.stats.model_cache_hit_rate(), 4),
             "encode_cache_hit_rate": round(self._encoder.stats.encode_hit_rate(), 4),
+            "gate_cache_queries": self._encoder.stats.gate_queries,
+            "gate_cache_hits": self._encoder.stats.gate_hits,
+            "gate_cache_hit_rate": round(self._encoder.stats.gate_hit_rate(), 4),
+            "gate_clauses_reused": self._encoder.stats.gate_clauses_reused,
             "lemmas_learned": self.stats.lemmas_learned,
             "lemmas_shared": self.stats.lemmas_shared,
         }
@@ -313,13 +320,28 @@ class Solver:
         a negated one contributes ``-expr + 1 <= 0`` (i.e. ``expr >= 1``),
         which is the exact negation over the integers.  Atoms the SAT search
         left unassigned default to False, as in a total assignment.
+
+        Negations are memoized per atom variable (``self._negated_atoms``) in
+        caching mode: vars are encoder-unique, so the memo hands back the one
+        interned negation instance, keeping its ``int_form`` memo warm.  The
+        uncached path allocates one-shot encodings with private overlapping
+        variable spaces and must not share the memo.
         """
         literals: List[Tuple[Tuple[int, bool], LinExpr]] = []
+        negated = self._negated_atoms if self.caching else None
+        one = LinExpr.const(1)
         for var, expr in encoding.linear_atoms.items():
             if assignment.get(var, False):
                 literals.append(((var, True), expr))
             else:
-                literals.append(((var, False), (-expr) + LinExpr.const(1)))
+                if negated is None:
+                    literals.append(((var, False), (-expr) + one))
+                    continue
+                neg = negated.get(var)
+                if neg is None:
+                    neg = (-expr) + one
+                    negated[var] = neg
+                literals.append(((var, False), neg))
         return literals
 
     def _build_model(

@@ -23,14 +23,13 @@ layer; constraints with unknowns go to the incremental CEGIS solver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.constraints.cegis import CegisSolver
 from repro.constraints.store import (
     ConstraintStore,
     ResourceConstraint,
-    coefficients_in,
     fresh_coefficient_var,
     linear_template,
 )
@@ -108,7 +107,11 @@ class TypeChecker:
         # Note: an empty ConstraintStore is falsy, so this must be an explicit
         # ``is not None`` check to actually share the synthesizer's store.
         self.store = store if store is not None else ConstraintStore()
-        self.cegis = cegis if cegis is not None else CegisSolver(self.solver, incremental=self.config.incremental_cegis)
+        self.cegis = (
+            cegis
+            if cegis is not None
+            else CegisSolver(self.solver, incremental=self.config.incremental_cegis)
+        )
         self.stats = CheckerStats()
 
     # ------------------------------------------------------------------
@@ -159,14 +162,18 @@ class TypeChecker:
             then_ctx = self.check_expr(guarded_ctx.with_path(guard_term), expr.then_branch, goal)
             if then_ctx is None:
                 return None
-            else_ctx = self.check_expr(guarded_ctx.with_path(t.neg(guard_term)), expr.else_branch, goal)
+            else_ctx = self.check_expr(
+                guarded_ctx.with_path(t.neg(guard_term)), expr.else_branch, goal
+            )
             if else_ctx is None:
                 return None
             return guarded_ctx
         if isinstance(expr, s.MatchList):
             if not isinstance(expr.scrutinee, s.Var):
                 return None
-            contexts = self.match_list_contexts(ctx, expr.scrutinee.name, expr.head_name, expr.tail_name)
+            contexts = self.match_list_contexts(
+                ctx, expr.scrutinee.name, expr.head_name, expr.tail_name
+            )
             if contexts is None:
                 return None
             nil_ctx, cons_ctx = contexts
@@ -290,7 +297,9 @@ class TypeChecker:
         return result, ctx
 
     # -- applications --------------------------------------------------------
-    def _resolve_callee(self, ctx: Context, name: str) -> Optional[Tuple[ArrowType, Tuple[str, ...]]]:
+    def _resolve_callee(
+        self, ctx: Context, name: str
+    ) -> Optional[Tuple[ArrowType, Tuple[str, ...]]]:
         if ctx.fix is not None and name == ctx.fix.name:
             return ctx.fix.arrow, ()
         schema = self.schemas.get(name)
@@ -311,7 +320,8 @@ class TypeChecker:
             return None
         if tvars:
             instantiation = self._instantiate_tvars(ctx, tvars, params, expr.args)
-            arrow = instantiate_schema(TypeSchema(tvars, arrow), instantiation)  # type: ignore[arg-type]
+            schema = TypeSchema(tvars, arrow)
+            arrow = instantiate_schema(schema, instantiation)  # type: ignore[arg-type]
             assert isinstance(arrow, ArrowType)
             params = arrow.params()
 
@@ -388,7 +398,9 @@ class TypeChecker:
                         potential = fresh_coefficient_var()
                     # Well-formedness: potential annotations are non-negative
                     # (Sec. 4.3, item (1) of the implementation notes).
-                    self._require(ctx.assumptions(), potential, origin=f"wellformedness of {tvar_name}")
+                    self._require(
+                        ctx.assumptions(), potential, origin=f"wellformedness of {tvar_name}"
+                    )
                 instantiation[tvar_name] = RType(base, t.TRUE, potential)
         for name in tvars:
             instantiation.setdefault(name, RType(IntBase(), t.TRUE, t.ZERO))
@@ -527,7 +539,9 @@ class TypeChecker:
                     t.substitute(required, {NU_NAME: elem_var}),
                 )
             )
-            if not self._require(ctx.assumptions(), margin, origin=f"result elements of {arg.func}"):
+            if not self._require(
+                ctx.assumptions(), margin, origin=f"result elements of {arg.func}"
+            ):
                 return None
             return ctx
         return None
@@ -566,7 +580,9 @@ class TypeChecker:
         same amount of resources.
         """
         assumptions = ctx.assumptions()
-        if not self._require(assumptions, ctx.free_potential, "leftover free potential", equality=True):
+        if not self._require(
+            assumptions, ctx.free_potential, "leftover free potential", equality=True
+        ):
             return False
         for name, rtype in ctx.container_vars():
             if not isinstance(rtype.base, ListBase):
@@ -671,7 +687,10 @@ class TypeChecker:
         tail_term = var_term(tail, tail_type)
         facts = [
             t.len_(scrutinee_term).eq(t.len_(tail_term) + 1),
-            t.Eq(t.elems(scrutinee_term), t.SetUnion(t.SetSingleton(head_term), t.elems(tail_term))),
+            t.Eq(
+                t.elems(scrutinee_term),
+                t.SetUnion(t.SetSingleton(head_term), t.elems(tail_term)),
+            ),
         ]
         if binding.base.sorted:
             elem_var = t.Var("_e", INT)
@@ -709,7 +728,10 @@ class TypeChecker:
                 telems,
                 t.SetUnion(
                     t.SetSingleton(value_term_),
-                    t.SetUnion(t.App("telems", (left_term,), t.SET), t.App("telems", (right_term,), t.SET)),
+                    t.SetUnion(
+                        t.App("telems", (left_term,), t.SET),
+                        t.App("telems", (right_term,), t.SET),
+                    ),
                 ),
             ),
         ]
@@ -775,7 +797,9 @@ def _rename_expr(expr: s.Expr, renaming: Dict[str, str]) -> s.Expr:
     if isinstance(expr, s.Var):
         return s.Var(renaming.get(expr.name, expr.name))
     if isinstance(expr, s.App):
-        return s.App(renaming.get(expr.func, expr.func), tuple(_rename_expr(a, renaming) for a in expr.args))
+        return s.App(
+            renaming.get(expr.func, expr.func), tuple(_rename_expr(a, renaming) for a in expr.args)
+        )
     if isinstance(expr, s.Cons):
         return s.Cons(_rename_expr(expr.head, renaming), _rename_expr(expr.tail, renaming))
     if isinstance(expr, s.Node):

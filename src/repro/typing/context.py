@@ -19,21 +19,18 @@ with its push/pop markers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Tuple
 
 from repro.logic import terms as t
 from repro.logic.simplify import simplify
 from repro.logic.terms import Term
 from repro.typing.types import (
     ArrowType,
-    BaseType,
     ListBase,
     NU_NAME,
     RType,
     TreeBase,
-    Type,
-    TypeSchema,
 )
 
 

@@ -21,11 +21,11 @@ constructed (see :mod:`repro.typing.checker`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple, Union
 
 from repro.logic import terms as t
-from repro.logic.sorts import BOOL, DATA, INT, Sort, uninterpreted
+from repro.logic.sorts import BOOL, DATA, INT, Sort
 from repro.logic.terms import Term
 
 #: The reserved value variable of refinement types.
@@ -334,9 +334,7 @@ def substitute_in_type(rtype: Type, mapping: Dict[str, Term]) -> Type:
     raise TypeError(f"not a type: {rtype!r}")
 
 
-def instantiate_schema(
-    schema: TypeSchema, instantiation: Dict[str, RType]
-) -> Type:
+def instantiate_schema(schema: TypeSchema, instantiation: Dict[str, RType]) -> Type:
     """Instantiate the quantified type variables of a schema.
 
     Instantiating ``a`` with ``{B | psi}^phi`` replaces every occurrence of the

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.analysis.aara import LinearBound, infer_linear_bound
-from repro.analysis.empirical import BOUND_SHAPES, CostSample, fit_bound, is_constant_resource, measure_cost
+from repro.analysis.empirical import (
+    BOUND_SHAPES,
+    CostSample,
+    fit_bound,
+    is_constant_resource,
+    measure_cost,
+)
 from repro.benchsuite.definitions import (
     append_benchmark,
     benchmark_by_key,
@@ -17,7 +23,6 @@ from repro.benchsuite.definitions import (
 from repro.benchsuite.runner import format_rows, measured_bound, run_benchmark
 from repro.core import synthesize
 from repro.lang import syntax as s
-from repro.semantics.values import Builtin
 
 
 def hand_written_append():

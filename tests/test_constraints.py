@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints.cegis import CegisSolver, Example
-from repro.constraints.horn import HornClause, HornSolverError, Unknown, UnknownApp, default_qualifiers, solve_horn
+from repro.constraints.horn import (
+    HornClause,
+    HornSolverError,
+    Unknown,
+    UnknownApp,
+    default_qualifiers,
+    solve_horn,
+)
 from repro.constraints.store import (
     ConstraintStore,
     ResourceConstraint,

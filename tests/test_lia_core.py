@@ -8,7 +8,6 @@ on randomized small formulas (with and without assumptions).
 """
 
 import itertools
-from fractions import Fraction
 
 from hypothesis import given, settings, strategies as st
 
@@ -138,9 +137,7 @@ def _brute_force_sat(clauses, num_vars, assumptions=()):
 
 
 literals = st.integers(1, 6).flatmap(lambda v: st.sampled_from((v, -v)))
-clauses_strategy = st.lists(
-    st.lists(literals, min_size=1, max_size=4), min_size=0, max_size=12
-)
+clauses_strategy = st.lists(st.lists(literals, min_size=1, max_size=4), min_size=0, max_size=12)
 
 
 class TestCdclAgainstBruteForce:
@@ -157,9 +154,7 @@ class TestCdclAgainstBruteForce:
             total = dict(model)
             for var in range(1, 7):
                 total.setdefault(var, False)
-            assert all(
-                any(total[abs(l)] == (l > 0) for l in c) for c in cnf.clauses
-            )
+            assert all(any(total[abs(lit)] == (lit > 0) for lit in c) for c in cnf.clauses)
 
     @given(clauses_strategy, st.lists(literals, min_size=1, max_size=3))
     @settings(max_examples=80, deadline=None)

@@ -159,7 +159,12 @@ class TestValidCacheLRU:
         solver = Solver()
         solver.check_valid(t.implies(x >= 0, x >= 0))
         report = solver.cache_report()
-        for key in ("sat_queries", "valid_cache_hit_rate", "encode_cache_hit_rate", "lemmas_learned"):
+        for key in (
+            "sat_queries",
+            "valid_cache_hit_rate",
+            "encode_cache_hit_rate",
+            "lemmas_learned",
+        ):
             assert key in report
 
 

@@ -5,8 +5,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.lang import syntax as s
 from repro.semantics.interpreter import CostModel, EvaluationError, Interpreter, evaluate
-from repro.semantics.refinements import RefinementEvalError, eval_measure, eval_term, holds, potential_value
-from repro.semantics.values import Builtin, Closure, LEAF, VTree, list_to_value, tree_from_sorted
+from repro.semantics.refinements import (
+    RefinementEvalError,
+    eval_measure,
+    eval_term,
+    holds,
+    potential_value,
+)
+from repro.semantics.values import Builtin, LEAF, VTree, tree_from_sorted
 from repro.logic import terms as t
 
 

@@ -138,7 +138,8 @@ class TestSpecs:
 
     @pytest.mark.parametrize("table", ["table1", "table2"])
     def test_spec_goals_roundtrip_to_benchmark_goals(self, table):
-        benchmarks = {b.key: b for b in (table1_benchmarks() if table == "table1" else table2_benchmarks())}
+        selected = table1_benchmarks() if table == "table1" else table2_benchmarks()
+        benchmarks = {b.key: b for b in selected}
         spec = export_table_spec(table)
         for entry in spec["goals"]:
             assert goal_from_json(entry["goal"]) == benchmarks[entry["key"]].goal
@@ -239,7 +240,8 @@ class TestFingerprint:
         base = job_fingerprint(goal, config)
         assert job_fingerprint(tiny_goal("other"), config) != base
         assert job_fingerprint(goal, SynthesisConfig.synquid()) != base
-        assert job_fingerprint(goal, SynthesisConfig.resyn(max_arg_depth=1, max_match_depth=2, max_cond_depth=0)) != base
+        deeper = SynthesisConfig.resyn(max_arg_depth=1, max_match_depth=2, max_cond_depth=0)
+        assert job_fingerprint(goal, deeper) != base
         with_lib = SynthesisGoal.create(goal.name, goal.schema, library("lt"))
         assert job_fingerprint(with_lib, config) != base
 

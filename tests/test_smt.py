@@ -1,6 +1,5 @@
 """Tests for the SMT layer: LIA core, SAT solver, encoder, DPLL(T) solver."""
 
-from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -117,7 +116,12 @@ class TestSAT:
         cnf.add_clause((1, -1))
         assert solve(cnf) is not None
 
-    @given(st.lists(st.lists(st.integers(1, 5).map(lambda v: v if v % 2 else -v), min_size=1, max_size=3), max_size=8))
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 5).map(lambda v: v if v % 2 else -v), min_size=1, max_size=3),
+            max_size=8,
+        )
+    )
     @settings(max_examples=50, deadline=None)
     def test_models_satisfy_clauses(self, clauses):
         cnf = CNF()
@@ -223,7 +227,9 @@ class TestSolverSets:
         assert not check_valid(t.implies(hyp_weak, t.Not(t.SetMember(x, t.elems(l2)))))
 
     def test_empty_set(self):
-        assert check_valid(t.implies(t.Eq(t.elems(xs), t.EmptySet()), t.Not(t.SetMember(x, t.elems(xs)))))
+        assert check_valid(
+            t.implies(t.Eq(t.elems(xs), t.EmptySet()), t.Not(t.SetMember(x, t.elems(xs))))
+        )
 
     def test_set_difference(self):
         hyp = t.conj(t.SetMember(x, t.elems(xs)), t.Not(t.SetMember(x, t.elems(ys))))

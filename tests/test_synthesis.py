@@ -6,7 +6,6 @@ paper's benchmarks, and cross-validate every synthesized program by running it
 under the cost semantics against the executable form of its specification.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.benchsuite.definitions import (
@@ -25,7 +24,7 @@ from repro.lang import syntax as s
 from repro.logic import terms as t
 from repro.semantics.interpreter import Interpreter
 from repro.semantics.refinements import holds
-from repro.typing.types import ArrowType, NU_NAME, TypeSchema, arrow, bool_type, list_type, tvar_type
+from repro.typing.types import ArrowType, NU_NAME, TypeSchema, arrow, bool_type, tvar_type
 
 
 import functools
@@ -206,6 +205,8 @@ class TestSynthesizerInternals:
 
     def test_timeout_is_respected(self):
         bench = triple_benchmark(False)
-        config = SynthesisConfig.resyn(max_arg_depth=2, max_match_depth=0, max_cond_depth=0, timeout=0.0)
+        config = SynthesisConfig.resyn(
+            max_arg_depth=2, max_match_depth=0, max_cond_depth=0, timeout=0.0
+        )
         result = synthesize(bench.goal, config)
         assert not result.succeeded

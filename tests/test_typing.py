@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.constraints.store import ConstraintStore
 from repro.core.components import library, schemas_of
 from repro.lang import syntax as s
 from repro.logic import terms as t
 from repro.typing.checker import CheckerConfig, TypeChecker
-from repro.typing.context import Context, FixInfo, var_term
+from repro.typing.context import Context
 from repro.typing.types import (
     ArrowType,
     BoolBase,
@@ -23,7 +22,6 @@ from repro.typing.types import (
     instantiate_schema,
     int_type,
     list_type,
-    monotype,
     nat_type,
     slist_type,
     substitute_in_type,
@@ -82,7 +80,10 @@ class TestTypes:
         assert substitute_in_type(rtype, {NU_NAME: t.IntConst(1)}) == rtype
 
     def test_instantiate_schema_adds_potential(self):
-        schema = TypeSchema(("a",), arrow(("xs", list_type(tvar_type("a", potential=t.ONE))), list_type(tvar_type("a"))))
+        schema = TypeSchema(
+            ("a",),
+            arrow(("xs", list_type(tvar_type("a", potential=t.ONE))), list_type(tvar_type("a"))),
+        )
         instantiated = instantiate_schema(schema, {"a": RType(IntBase(), t.TRUE, t.IntConst(2))})
         assert isinstance(instantiated, ArrowType)
         param = instantiated.params()[0][1]
@@ -166,20 +167,16 @@ class TestCheckerJudgments:
         checker = make_checker()
         ctx = Context().bind("xs", list_type(tvar_type("a"))).bind("x", tvar_type("a"))
         nil_type, _ = checker.infer(ctx, s.Nil())
-        assert checker.check_result_subtype(ctx, nil_type, list_type(tvar_type("a"), t.len_(NU_DATA).eq(0)))
+        assert checker.check_result_subtype(
+            ctx, nil_type, list_type(tvar_type("a"), t.len_(NU_DATA).eq(0))
+        )
         cons_type, _ = checker.infer(ctx, s.Cons(s.Var("x"), s.Var("xs")))
         goal = list_type(tvar_type("a"), t.len_(NU_DATA).eq(t.len_(t.data_var("xs")) + 1))
         assert checker.check_result_subtype(ctx, cons_type, goal)
 
     def test_cons_sortedness_detection(self):
         checker = make_checker()
-        x = t.int_var("x")
-        elem = tvar_type("a", refinement=x < NU_INT)
-        ctx = (
-            Context()
-            .bind("x", tvar_type("a"))
-            .bind("ys", slist_type(tvar_type("a")))
-        )
+        ctx = Context().bind("x", tvar_type("a")).bind("ys", slist_type(tvar_type("a")))
         nil_cons, _ = checker.infer(ctx, s.Cons(s.Var("x"), s.Nil()))
         assert nil_cons.base.sorted
         # Without knowing x < elements of ys, Cons x ys is not sorted.
@@ -193,7 +190,9 @@ class TestCheckerJudgments:
         # Nil branch learns that the list is empty.
         assert checker.entails(nil_ctx, t.len_(t.data_var("xs")).eq(0))
         # Cons branch: head potential went to the free pool, scrutinee is spent.
-        assert t.free_vars(cons_ctx.free_potential) != frozenset() or cons_ctx.free_potential == t.ONE
+        assert (
+            t.free_vars(cons_ctx.free_potential) != frozenset() or cons_ctx.free_potential == t.ONE
+        )
         assert cons_ctx.lookup("xs").base.elem.potential == t.ZERO
         assert cons_ctx.lookup("tl").base.elem.potential == t.ONE
         assert checker.entails(cons_ctx, t.len_(t.data_var("xs")).eq(t.len_(t.data_var("tl")) + 1))
@@ -287,17 +286,20 @@ class TestResourceChecking:
         assert checker.check_program(self.member_program(), TypeSchema(("a",), stripped))
 
     def test_termination_check_rejects_nondecreasing_call(self):
-        x = t.int_var("x")
         goal = TypeSchema(
             ("a",),
             arrow(("x", tvar_type("a")), ("l", list_type(tvar_type("a"))), bool_type(), cost=1),
         )
         looping = s.Fix("f", ("x", "l"), s.App("f", (s.Var("x"), s.Var("l"))))
-        checker = TypeChecker(schemas_of(library()), CheckerConfig(resource_aware=False, check_termination=True))
+        checker = TypeChecker(
+            schemas_of(library()), CheckerConfig(resource_aware=False, check_termination=True)
+        )
         assert not checker.check_program(looping, goal)
         structural = s.Fix(
             "f",
             ("x", "l"),
-            s.MatchList(s.Var("l"), s.BoolLit(True), "h", "tl", s.App("f", (s.Var("x"), s.Var("tl")))),
+            s.MatchList(
+                s.Var("l"), s.BoolLit(True), "h", "tl", s.App("f", (s.Var("x"), s.Var("tl")))
+            ),
         )
         assert checker.check_program(structural, goal)
