@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke
+.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke profile
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
@@ -41,9 +41,16 @@ bench-table2:
 specs:
 	$(PYTHON) -m repro.service export --dir specs
 
+## Traced run of the quick suite: writes trace.jsonl + profile.folded (the
+## flamegraph input) to /tmp/repro-profile and prints the phase-time table.
+## Fails if the spans cover <90% of the synthesis wall-clock.
+profile:
+	$(PYTHON) benchmarks/profile_quick.py
+
 ## What the CI service-smoke job runs: a cold 2-worker scheduler pass over
 ## the Table 1 spec, then a warm rerun that must be 100% cache hits.
 service-smoke:
 	rm -rf /tmp/resyn-smoke-cache
 	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache
 	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache --expect-all-hits
+	$(PYTHON) -m repro.service stats /tmp/resyn-smoke-cache

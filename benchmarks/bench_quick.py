@@ -57,6 +57,7 @@ random.seed(BENCH_SEED)
 
 from repro.benchsuite.runner import benchmark_config, selected_benchmarks  # noqa: E402
 from repro.core import synthesize  # noqa: E402
+from repro.obs import export, trace  # noqa: E402
 from repro.service.scheduler import BatchScheduler, job_for_goal  # noqa: E402
 
 
@@ -91,6 +92,7 @@ def run_quick() -> dict:
     rows = []
     total = 0.0
     counters = {key: 0 for key in AGGREGATED_COUNTERS}
+    trace.reset()
     for bench in selected_benchmarks("table1"):
         configs = bench.configs()
         for mode in MODES:
@@ -115,7 +117,7 @@ def run_quick() -> dict:
             stats = rows[-1]["stats"]
             for key in AGGREGATED_COUNTERS:
                 counters[key] += int(stats.get(key, 0))
-    return {
+    report = {
         "suite": "table1-fast",
         "modes": list(MODES),
         "python": platform.python_version(),
@@ -124,8 +126,25 @@ def run_quick() -> dict:
         "total_seconds": round(total, 4),
         "counters": counters,
         "rows": rows,
-        "service": run_service(rows),
     }
+    if trace.is_enabled():
+        # Aggregate the serial loop's spans before the scheduler run adds its
+        # own (child workers trace independently; their spans stay in-process).
+        report["phases"] = export.phase_block()
+        dump_trace_artifacts()
+    report["service"] = run_service(rows)
+    return report
+
+
+def dump_trace_artifacts() -> None:
+    """Write trace.jsonl + profile.folded to ``REPRO_TRACE_DIR`` (if set)."""
+    out_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    spans = export.write_trace_jsonl(os.path.join(out_dir, "trace.jsonl"))
+    stacks = export.write_collapsed(os.path.join(out_dir, "profile.folded"))
+    print(f"wrote {out_dir}/trace.jsonl ({spans} spans), profile.folded ({stacks} stacks)")
 
 
 def run_service(serial_rows: list) -> dict:
@@ -165,6 +184,9 @@ def run_service(serial_rows: list) -> dict:
         "parallel_seconds": round(wall, 4),
         "serial_equivalent_seconds": round(cpu, 4),
         "speedup": round(cpu / wall, 3) if wall else 0.0,
+        "queue_seconds": round(scheduler.stats.queue_seconds, 4),
+        "run_seconds": round(scheduler.stats.run_seconds, 4),
+        "worker_utilization": dict(scheduler.stats.worker_utilization),
         "programs_identical": True,
     }
 

@@ -70,6 +70,27 @@ def render(fresh: dict, baseline: dict | None = None) -> str:
                 line += f" {base_value} | {_fmt_ratio(value, base_value)} |"
         lines.append(line)
 
+    phases = fresh.get("phases")
+    if phases:
+        lines += ["", "### Phase-time breakdown (traced run)", ""]
+        rows = phases.get("rows", [])
+        total_self = sum(float(r.get("self_seconds", 0.0)) for r in rows) or 1.0
+        lines += [
+            f"{phases.get('total_spans', 0)} spans "
+            "(span counts are deterministic and regression-guarded; "
+            "the time columns are wall-clock and exempt)",
+            "",
+            "| phase | spans | total s | self s | self % |",
+            "|---|---:|---:|---:|---:|",
+        ]
+        ordered = sorted(rows, key=lambda r: (-float(r.get("self_seconds", 0.0)), r["phase"]))
+        for row in ordered:
+            self_s = float(row.get("self_seconds", 0.0))
+            lines.append(
+                f"| `{row['phase']}` | {row['spans']} | {float(row['seconds']):.4f} "
+                f"| {self_s:.4f} | {100 * self_s / total_self:.1f}% |"
+            )
+
     service = fresh.get("service")
     if service:
         lines += [
@@ -81,6 +102,20 @@ def render(fresh: dict, baseline: dict | None = None) -> str:
             f"(speedup {service.get('speedup', 0.0):.2f}x, "
             f"programs identical: {service.get('programs_identical')})",
         ]
+        if "run_seconds" in service:
+            lines.append(
+                f"queue wait {float(service.get('queue_seconds', 0.0)):.3f} s, "
+                f"run time {float(service.get('run_seconds', 0.0)):.3f} s"
+            )
+        utilization = service.get("worker_utilization") or {}
+        if utilization:
+            lines.append(
+                "worker utilization: "
+                + ", ".join(
+                    f"{worker} {100 * float(busy):.0f}%"
+                    for worker, busy in sorted(utilization.items())
+                )
+            )
     lines.append("")
     return "\n".join(lines)
 

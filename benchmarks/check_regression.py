@@ -10,6 +10,11 @@ report and fails (exit code 1) when
   LIA queries/eliminations/cores, SAT decisions/conflicts, ...) drifts by
   more than the counter tolerance — these are also machine-independent, so
   they catch algorithmic perf regressions that wall-clock noise would hide;
+* when both reports carry a ``phases`` block (traced runs,
+  ``REPRO_TRACE=1``), the span *counts* — ``total_spans`` and each phase's
+  ``spans`` — drift past the counter tolerance.  The blocks' wall-clock
+  fields (``seconds``/``self_seconds``) are explicitly exempt: span counts
+  are deterministic, span durations are not;
 * total wall-clock exceeds the baseline by more than the timing tolerance
   (default 25%).
 
@@ -122,6 +127,31 @@ def main() -> int:
                 f"(tolerance {args.counter_tolerance:.2f}x)"
             )
 
+    # Phase tables (traced runs only): span counts are deterministic counters
+    # and guarded like the block above; the seconds/self_seconds columns are
+    # wall-clock and deliberately never compared.
+    base_phases = None if args.no_counters else baseline.get("phases")
+    fresh_phases = fresh.get("phases")
+    if base_phases and fresh_phases:
+        base_total_spans = int(base_phases.get("total_spans", 0))
+        fresh_total_spans = int(fresh_phases.get("total_spans", 0))
+        if fresh_total_spans > base_total_spans * args.counter_tolerance + 1:
+            failures.append(
+                f"span-count regression: total_spans {base_total_spans} -> "
+                f"{fresh_total_spans} (tolerance {args.counter_tolerance:.2f}x)"
+            )
+        fresh_rows = {row["phase"]: row for row in fresh_phases.get("rows", [])}
+        for row in base_phases.get("rows", []):
+            name = row["phase"]
+            fresh_row = fresh_rows.get(name)
+            if fresh_row is None:
+                failures.append(f"phase {name} missing from fresh report")
+            elif int(fresh_row["spans"]) > int(row["spans"]) * args.counter_tolerance + 1:
+                failures.append(
+                    f"span-count regression: phase {name} {row['spans']} -> "
+                    f"{fresh_row['spans']} (tolerance {args.counter_tolerance:.2f}x)"
+                )
+
     if not args.no_timing:
         base_total = float(baseline["total_seconds"])
         fresh_total = float(fresh["total_seconds"])
@@ -143,6 +173,8 @@ def main() -> int:
     checks = "programs identical"
     if not args.no_counters:
         checks += ", counters within tolerance"
+        if base_phases and fresh_phases:
+            checks += ", span counts within tolerance"
     if not args.no_timing:
         checks += ", wall-clock within tolerance"
     print(f"regression guard OK: {checks}")

@@ -1,0 +1,83 @@
+"""Phase-attributed profile of the fast Table 1 subset (``make profile``).
+
+Runs the quick suite serially with tracing enabled and writes the two trace
+artifacts to the output directory (default ``/tmp/repro-profile``):
+
+* ``trace.jsonl`` — one JSON record per span, for ad-hoc digging;
+* ``profile.folded`` — collapsed stacks (self-time microseconds), the input
+  format of flamegraph tooling (``flamegraph.pl profile.folded > out.svg``,
+  or load it directly into speedscope).
+
+It then prints the aggregated phase-time table and checks *coverage*: the
+fraction of the synthesizers' wall-clock accounted for by root spans.  Spans
+wrap every phase of the pipeline from ``synth.goal`` down, so coverage below
+90% means a hot region has no span — fail loudly instead of producing a
+flamegraph with a silent hole.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_quick.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+os.environ.setdefault("REPRO_TRACE", "1")
+
+from repro.benchsuite.runner import benchmark_config, selected_benchmarks  # noqa: E402
+from repro.core import synthesize  # noqa: E402
+from repro.obs import export, trace  # noqa: E402
+
+MODES = ("resyn", "synquid")
+MIN_COVERAGE = 0.9
+
+
+def main() -> int:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "/tmp/repro-profile"
+    os.makedirs(out_dir, exist_ok=True)
+    trace.enable()
+    trace.reset()
+
+    wall_start = time.perf_counter()
+    synth_seconds = 0.0
+    for bench in selected_benchmarks("table1"):
+        for mode in MODES:
+            start = time.perf_counter()
+            synthesize(bench.goal, benchmark_config(bench, mode))
+            synth_seconds += time.perf_counter() - start
+    wall = time.perf_counter() - wall_start
+
+    records = trace.span_records()
+    spans = export.write_trace_jsonl(os.path.join(out_dir, "trace.jsonl"), records)
+    stacks = export.write_collapsed(os.path.join(out_dir, "profile.folded"), records)
+    table = export.phase_table(records)
+    traced = export.root_seconds(records)
+    coverage = traced / synth_seconds if synth_seconds else 0.0
+
+    print(export.render_phase_table(table))
+    print()
+    print(f"wrote {out_dir}/trace.jsonl ({spans} spans), profile.folded ({stacks} stacks)")
+    print(
+        f"suite wall-clock {wall:.3f}s, synthesis {synth_seconds:.3f}s, "
+        f"traced {traced:.3f}s (coverage {100 * coverage:.1f}%)"
+    )
+    if coverage < MIN_COVERAGE:
+        print(
+            f"FAIL: root spans cover {100 * coverage:.1f}% of synthesis wall-clock "
+            f"(< {100 * MIN_COVERAGE:.0f}%) — a hot region is missing its span",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.logic import terms as t
 from repro.logic.terms import Term
 from repro.constraints.store import ResourceConstraint, coefficients_in, is_coefficient
+from repro.obs import trace
 from repro.smt.linexpr import Constraint as LinConstraint
 from repro.smt.linexpr import LinExpr
 from repro.smt.encoder import linearize
@@ -198,7 +199,8 @@ class CegisSolver:
             self.stats.verification_queries += 1
             query = self._violation_query(rc, self.solution)
             try:
-                model = self.solver.check_sat(query)
+                with trace.span("cegis.verify"):
+                    model = self.solver.check_sat(query)
             except Exception:
                 model = None  # conservatively treat unencodable queries as consistent
             if model is None:
@@ -263,19 +265,22 @@ class CegisSolver:
         keeps the synthesis constraint small.
         """
         self.stats.synthesis_queries += 1
-        linear: List[LinConstraint] = []
-        targets = violated if self.incremental else all_constraints
-        for example in self.examples:
-            for rc in targets:
-                linear.extend(self._ground_constraint(rc, example))
-        # Keep previously satisfied clauses satisfied on the accumulated
-        # examples as well (cheap, and prevents oscillation).
-        for example in self.examples[:-1]:
-            for rc in all_constraints:
-                linear.extend(self._ground_constraint(rc, example))
-        if not linear:
-            return {name: self.solution.get(name, 0) for name in coeffs}
-        result = self._solve_with_small_coefficients(linear, coeffs)
+        with trace.span("cegis.synth") as sp:
+            linear: List[LinConstraint] = []
+            targets = violated if self.incremental else all_constraints
+            for example in self.examples:
+                for rc in targets:
+                    linear.extend(self._ground_constraint(rc, example))
+            # Keep previously satisfied clauses satisfied on the accumulated
+            # examples as well (cheap, and prevents oscillation).
+            for example in self.examples[:-1]:
+                for rc in all_constraints:
+                    linear.extend(self._ground_constraint(rc, example))
+            if not linear:
+                return {name: self.solution.get(name, 0) for name in coeffs}
+            if sp:
+                sp.count("ground_constraints", len(linear))
+            result = self._solve_with_small_coefficients(linear, coeffs)
         if result is None:
             return None
         # Coefficients not mentioned in the violated clauses keep their current

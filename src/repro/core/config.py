@@ -38,6 +38,10 @@ class SynthesisConfig:
     enumerate_and_check: bool = False
     #: Wall-clock timeout in seconds (None = no timeout).
     timeout: float | None = 600.0
+    #: Enable hierarchical span tracing for this run (equivalent to setting
+    #: ``REPRO_TRACE=1``).  Tracing never changes the search: spans carry
+    #: deterministic counters separately from wall-clock attributes.
+    trace: bool = False
 
     # -- named configurations ------------------------------------------------
     @staticmethod

@@ -45,6 +45,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.goals import SynthesisGoal, SynthesisResult
 from repro.lang import syntax as s
 from repro.logic import terms as t
+from repro.obs import metrics, trace
 from repro.smt.solver import Solver, theory_counters
 from repro.typing.checker import CheckerConfig, TypeChecker
 from repro.typing.context import Context
@@ -114,18 +115,24 @@ class Synthesizer:
     # ------------------------------------------------------------------
     def synthesize(self) -> SynthesisResult:
         """Run synthesis and return the first program that checks."""
+        if self.config.trace:
+            trace.enable()
         start = time.perf_counter()
         if self.config.timeout is not None:
             self._deadline = start + self.config.timeout
         counters_before = theory_counters()
         program: Optional[s.Fix] = None
-        try:
-            if self.config.enumerate_and_check:
-                program = self._enumerate_and_check()
-            else:
-                program = next(self._programs(), None)
-        except SynthesisTimeout:
-            program = None
+        with trace.span("synth.goal", goal=self.goal.name) as root:
+            try:
+                if self.config.enumerate_and_check:
+                    program = self._enumerate_and_check()
+                else:
+                    program = next(self._programs(), None)
+            except SynthesisTimeout:
+                program = None
+            if root:
+                root.count("candidates", self.candidates_checked)
+                root.set(solved=program is not None)
         seconds = time.perf_counter() - start
         return SynthesisResult(
             goal=self.goal,
@@ -145,18 +152,15 @@ class Synthesizer:
         (including the shared Tseitin gate-cache traffic of the incremental
         encoder: ``gate_cache_queries``/``gate_cache_hits``/
         ``gate_cache_hit_rate``/``gate_clauses_reused``); the LIA/SAT/scaling
-        counters are process-wide (see
-        :func:`repro.smt.solver.theory_counters`), so they are reported as
-        deltas over this run: feasibility-cache traffic, Fourier-Motzkin
+        counters are process-wide (:func:`repro.smt.solver.theory_counters`
+        is a view over :data:`repro.obs.metrics.REGISTRY`), so they are
+        reported as deltas over this run: feasibility-cache traffic, Fourier-Motzkin
         eliminations/tightenings, unsat-core counts and average size, and the
         SAT engine's decisions/conflicts/VSIDS bumps/learned-clause churn.
         """
         report = self.solver.cache_report()
         report.update(self.cegis.cache_report())
-        deltas = {
-            key: value - counters_before.get(key, 0)
-            for key, value in theory_counters().items()
-        }
+        deltas = metrics.delta(counters_before, theory_counters())
         report.update(deltas)
         lia_queries = deltas["lia_queries"]
         lia_hits = deltas["lia_cache_hits"]
@@ -239,7 +243,13 @@ class Synthesizer:
             self._check_time()
             self.candidates_checked += 1
             marker = self.store.push()
-            if self.checker.check_eterm(ctx, candidate, goal) is not None:
+            # The span closes before the yield: leaving it open across the
+            # generator suspension would corrupt the tracer's span stack.
+            with trace.span("synth.eterm") as sp:
+                accepted = self.checker.check_eterm(ctx, candidate, goal) is not None
+                if sp:
+                    sp.set(term=str(candidate), accepted=accepted)
+            if accepted:
                 yield candidate
             self._pop(marker)
 

@@ -1,0 +1,28 @@
+"""Unified observability layer: hierarchical spans, metrics, exporters.
+
+Three small modules, imported by every layer of the synthesis stack:
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer with a near-zero-cost
+  disabled mode (the default).  Spans time regions of the pipeline (per goal,
+  per candidate, per SMT query, per solver phase), nest via a thread-local
+  stack, and carry *deterministic counters* separately from wall-clock so
+  the byte-identity regression guard can compare traced and untraced runs.
+* :mod:`repro.obs.metrics` — a process-wide registry of typed counters,
+  gauges and histograms, plus *views*: named providers that expose the
+  per-layer stat objects (LIA, SAT, encoder, scaling, caches) through one
+  aggregation point without touching their hot-path increments.
+* :mod:`repro.obs.export` — exporters over finished spans: JSONL trace
+  dumps, collapsed-stack files for flamegraphs (``make profile``), and the
+  aggregated phase-time table rendered into benchmark reports and
+  ``$GITHUB_STEP_SUMMARY``.
+
+Tracing is disabled by default and enabled with ``REPRO_TRACE=1`` (read at
+import time), :func:`repro.obs.trace.enable`, or
+``SynthesisConfig(trace=True)``.
+"""
+
+from repro.obs import export, metrics, trace
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span, traced
+
+__all__ = ["export", "metrics", "trace", "REGISTRY", "span", "traced"]

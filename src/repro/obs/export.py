@@ -1,0 +1,187 @@
+"""Exporters over finished spans: JSONL, collapsed stacks, phase tables.
+
+Three consumers, one span format (:meth:`repro.obs.trace.Span.to_record`):
+
+* **JSONL trace dump** (:func:`write_trace_jsonl`) — one record per line, the
+  raw artifact CI uploads and perf investigations diff.
+* **Collapsed stacks** (:func:`collapsed_stacks`, :func:`write_collapsed`) —
+  the ``root;child;leaf <weight>`` format consumed by flamegraph tooling
+  (``flamegraph.pl``, speedscope, inferno).  Weights are *self-time*
+  microseconds, so the flamegraph's box widths attribute every microsecond
+  exactly once.
+* **Phase-time table** (:func:`phase_table`, :func:`phase_block`) — the
+  aggregated per-span-name breakdown that ``benchmarks/bench_summary.py``
+  renders into ``$GITHUB_STEP_SUMMARY`` and ``make profile`` prints.  Span
+  *counts* are deterministic and guarded by
+  ``benchmarks/check_regression.py``; the wall-clock columns are explicitly
+  exempt.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import trace
+
+__all__ = [
+    "collapsed_stacks",
+    "phase_block",
+    "phase_table",
+    "render_phase_table",
+    "root_seconds",
+    "write_collapsed",
+    "write_trace_jsonl",
+]
+
+Record = Dict[str, object]
+
+
+def _records(records: Optional[Sequence[Record]]) -> List[Record]:
+    return list(records) if records is not None else trace.span_records()
+
+
+def write_trace_jsonl(path: str, records: Optional[Sequence[Record]] = None) -> int:
+    """Write one JSON record per finished span; returns the record count."""
+    rows = _records(records)
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+    return len(rows)
+
+
+def _self_us(records: Sequence[Record]) -> Dict[int, int]:
+    """Self-time (duration minus direct children) per span id, microseconds."""
+    child_us: Dict[int, int] = {}
+    for row in records:
+        parent = int(row.get("parent", 0))
+        if parent:
+            child_us[parent] = child_us.get(parent, 0) + int(row.get("dur_us", 0))
+    return {
+        int(row["id"]): max(int(row.get("dur_us", 0)) - child_us.get(int(row["id"]), 0), 0)
+        for row in records
+    }
+
+
+def collapsed_stacks(records: Optional[Sequence[Record]] = None) -> List[str]:
+    """``a;b;c weight`` lines, weight = self-time µs, aggregated per stack."""
+    rows = _records(records)
+    by_id = {int(row["id"]): row for row in rows}
+    self_us = _self_us(rows)
+    stack_cache: Dict[int, str] = {}
+
+    def stack_of(span_id: int) -> str:
+        cached = stack_cache.get(span_id)
+        if cached is not None:
+            return cached
+        row = by_id[span_id]
+        parent = int(row.get("parent", 0))
+        name = str(row["name"])
+        path = f"{stack_of(parent)};{name}" if parent in by_id else name
+        stack_cache[span_id] = path
+        return path
+
+    weights: Dict[str, int] = {}
+    for row in rows:
+        weight = self_us.get(int(row["id"]), 0)
+        if weight <= 0:
+            continue
+        path = stack_of(int(row["id"]))
+        weights[path] = weights.get(path, 0) + weight
+    return [f"{path} {weight}" for path, weight in sorted(weights.items())]
+
+
+def write_collapsed(path: str, records: Optional[Sequence[Record]] = None) -> int:
+    """Write a collapsed-stack file (flamegraph input); returns the line count."""
+    lines = collapsed_stacks(records)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines))
+        if lines:
+            handle.write("\n")
+    return len(lines)
+
+
+def phase_table(records: Optional[Sequence[Record]] = None) -> List[Dict[str, object]]:
+    """Aggregate spans by name into phase rows, sorted by name.
+
+    Per phase: ``spans`` (deterministic count), ``seconds`` (total duration
+    of *outermost* spans of that name — nested same-name spans, e.g. from
+    recursion, are not double counted) and ``self_seconds`` (duration minus
+    direct children, summed over every span of the name).
+    """
+    rows = _records(records)
+    by_id = {int(row["id"]): row for row in rows}
+    self_us = _self_us(rows)
+
+    outermost_cache: Dict[int, bool] = {}
+
+    def is_outermost(span_id: int) -> bool:
+        cached = outermost_cache.get(span_id)
+        if cached is not None:
+            return cached
+        row = by_id[span_id]
+        name = row["name"]
+        parent = int(row.get("parent", 0))
+        result = True
+        while parent in by_id:
+            parent_row = by_id[parent]
+            if parent_row["name"] == name:
+                result = False
+                break
+            parent = int(parent_row.get("parent", 0))
+        outermost_cache[span_id] = result
+        return result
+
+    phases: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        name = str(row["name"])
+        agg = phases.setdefault(name, {"spans": 0, "us": 0, "self_us": 0})
+        agg["spans"] += 1
+        agg["self_us"] += self_us.get(int(row["id"]), 0)
+        if is_outermost(int(row["id"])):
+            agg["us"] += int(row.get("dur_us", 0))
+    return [
+        {
+            "phase": name,
+            "spans": int(agg["spans"]),
+            "seconds": round(agg["us"] / 1e6, 6),
+            "self_seconds": round(agg["self_us"] / 1e6, 6),
+        }
+        for name, agg in sorted(phases.items())
+    ]
+
+
+def phase_block(records: Optional[Sequence[Record]] = None) -> Dict[str, object]:
+    """The ``phases`` block embedded in benchmark reports.
+
+    ``total_spans`` and each row's ``spans`` are deterministic counters (the
+    regression guard compares them); every ``*seconds`` field is wall-clock
+    and exempt.
+    """
+    rows = _records(records)
+    return {"total_spans": len(rows), "rows": phase_table(rows)}
+
+
+def root_seconds(records: Optional[Sequence[Record]] = None) -> float:
+    """Total duration of root spans — the wall-clock the trace accounts for."""
+    rows = _records(records)
+    ids = {int(row["id"]) for row in rows}
+    return sum(int(r.get("dur_us", 0)) for r in rows if int(r.get("parent", 0)) not in ids) / 1e6
+
+
+def render_phase_table(table: List[Dict[str, object]]) -> str:
+    """GitHub-flavored Markdown for a phase table, hottest self-time first."""
+    total_self = sum(float(row["self_seconds"]) for row in table) or 1.0
+    lines = [
+        "| phase | spans | total s | self s | self % |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    ordered = sorted(table, key=lambda row: (-float(row["self_seconds"]), str(row["phase"])))
+    for row in ordered:
+        self_s = float(row["self_seconds"])
+        lines.append(
+            f"| `{row['phase']}` | {row['spans']} | {float(row['seconds']):.4f} "
+            f"| {self_s:.4f} | {100 * self_s / total_self:.1f}% |"
+        )
+    return "\n".join(lines)

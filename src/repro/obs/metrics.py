@@ -1,0 +1,184 @@
+"""Process-wide metrics registry: typed counters, gauges, histograms, views.
+
+The registry is the single aggregation point the evaluation harness and the
+service CLI read from.  It holds two kinds of things:
+
+* **owned metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  instances created through :meth:`MetricsRegistry.counter` & friends.  New
+  telemetry (scheduler queue-wait, cache hit/miss/eviction streams, span
+  totals) lives here.
+* **views** — named zero-argument providers returning ``{key: number}``
+  dictionaries, registered by the existing per-layer stat objects (LIA, SAT,
+  encoder, integer scaling).  The hot paths keep their plain dataclass
+  ``stats.x += 1`` increments; the registry merely knows how to snapshot
+  them.  ``repro.smt.solver.theory_counters()`` — and through it
+  ``SynthesisResult.stats`` and the ``counters`` block of
+  ``BENCH_synthesis.json`` — is a view collect, so the report keys stay
+  byte-for-byte what they were before the registry existed.
+
+All counters here are monotonically increasing; per-run figures are deltas
+of two snapshots (:func:`delta`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Union
+
+Number = Union[int, float]
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "delta",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc({n}))")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (worker utilization, cache size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """Streaming summary of observations: count / total / min / max.
+
+    Bucketless on purpose — the consumers (bench reports, ``service stats``)
+    want totals and extremes, and a fixed bucket layout would bake wall-clock
+    assumptions into deterministic artifacts.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.min, 6) if self.count else 0,
+            "max": round(self.max, 6) if self.count else 0,
+            "mean": round(self.mean(), 6),
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-addressed metrics plus registered per-layer stat views."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._views: Dict[str, Callable[[], Dict[str, Number]]] = {}
+
+    # -- owned metrics -----------------------------------------------------
+    def _get(self, name: str, cls: type) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    # -- views -------------------------------------------------------------
+    def register_view(self, name: str, provider: Callable[[], Dict[str, Number]]) -> None:
+        """Register (or replace) a named snapshot provider.
+
+        Re-registration is idempotent by design: modules register their view
+        at import time, and a re-import (or a test reloading a module) must
+        not fail.
+        """
+        self._views[name] = provider
+
+    def collect(self, view: str) -> Dict[str, Number]:
+        """Snapshot one registered view (a fresh dict each call)."""
+        return dict(self._views[view]())
+
+    def view_names(self) -> List[str]:
+        return sorted(self._views)
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministically ordered snapshot of every metric and view."""
+        metrics: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            metrics[name] = metric.summary() if isinstance(metric, Histogram) else metric.value
+        views = {name: dict(sorted(self._views[name]().items())) for name in sorted(self._views)}
+        return {"metrics": metrics, "views": views}
+
+    def reset(self) -> None:
+        """Zero every owned metric (views belong to their stat objects)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+def delta(before: Mapping[str, Number], after: Mapping[str, Number]) -> Dict[str, Number]:
+    """Per-run difference of two monotonic snapshots (keys taken from ``after``)."""
+    return {key: value - before.get(key, 0) for key, value in after.items()}
+
+
+#: The process-wide registry every layer registers into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,301 @@
+"""Hierarchical span tracer with a near-zero-overhead disabled mode.
+
+A *span* is one timed region of the pipeline: a synthesis goal, an E-term
+candidate check, an SMT query, a SAT solve, a LIA feasibility call.  Spans
+nest through a thread-local stack, so every span knows its parent and depth,
+and the finished-span list reconstructs the full call tree for the exporters
+of :mod:`repro.obs.export`.
+
+Design constraints (see ISSUE 6):
+
+* **Disabled is the default and must cost ~nothing.**  :func:`span` checks
+  one module-level boolean and returns the shared :data:`NOOP_SPAN` singleton
+  whose ``__enter__``/``__exit__``/``set``/``count`` are empty methods — no
+  allocation, no clock read, no stack traffic.  Call sites therefore never
+  need their own ``if traced:`` guards (though the hottest may use
+  ``if sp:`` to skip building attribute strings).
+* **Determinism is kept separate from wall-clock.**  A span carries two
+  bags: ``attrs`` (free-form labels) and ``counters`` (deterministic integer
+  counts, e.g. propagations attributed to one SAT solve).  Exporters and the
+  regression guard treat ``counters`` as machine-independent and all timing
+  fields as noise.
+* **Monotonic timing.**  ``time.perf_counter_ns`` throughout; wall-clock
+  epochs never enter a trace.
+
+Enabled via the ``REPRO_TRACE`` environment variable (read once at import),
+:func:`enable`, or ``SynthesisConfig(trace=True)``.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "current_span",
+    "enable",
+    "disable",
+    "event",
+    "get_tracer",
+    "is_enabled",
+    "reset",
+    "span",
+    "span_records",
+    "traced",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled.
+
+    Falsy on purpose: hot call sites write ``if sp: sp.set(term=str(x))`` to
+    skip building expensive attribute values in the disabled mode.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def count(self, name: str, n: int = 1) -> "_NoopSpan":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "<noop span>"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed region of the trace hierarchy."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_ns",
+        "duration_ns",
+        "attrs",
+        "counters",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = 0
+        self.parent_id = 0
+        self.depth = 0
+        self.start_ns = 0
+        self.duration_ns = 0
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.counters: Dict[str, int] = {}
+
+    # -- attribute/counter bags -------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach free-form labels (not compared by the regression guard)."""
+        self.attrs.update(attrs)
+        return self
+
+    def count(self, name: str, n: int = 1) -> "Span":
+        """Add to a deterministic counter attributed to this span."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        return self
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self)
+        return False
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"depth={self.depth}, dur={self.duration_ns / 1e6:.3f}ms)"
+        )
+
+    def to_record(self) -> Dict[str, Any]:
+        """A JSON-able record; timing in integer microseconds."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "t0_us": self.start_ns // 1000,
+            "dur_us": self.duration_ns // 1000,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.counters:
+            record["counters"] = dict(self.counters)
+        return record
+
+
+class Tracer:
+    """Collects finished spans; one per process is the norm (:func:`get_tracer`)."""
+
+    def __init__(self) -> None:
+        self.finished: List[Span] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- span lifecycle ----------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs or None)
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """Record an instantaneous (zero-duration) span at the current depth."""
+        marker = Span(self, name, attrs or None)
+        stack = self._stack()
+        marker.span_id = next(self._ids)
+        if stack:
+            marker.parent_id = stack[-1].span_id
+            marker.depth = stack[-1].depth + 1
+        marker.start_ns = time.perf_counter_ns()
+        self.finished.append(marker)
+        return marker
+
+    def _push(self, span_obj: Span) -> None:
+        stack = self._stack()
+        span_obj.span_id = next(self._ids)
+        if stack:
+            span_obj.parent_id = stack[-1].span_id
+            span_obj.depth = stack[-1].depth + 1
+        stack.append(span_obj)
+
+    def _pop(self, span_obj: Span) -> None:
+        stack = self._stack()
+        # Tolerate exits out of order (a generator finalized late) by popping
+        # down to the span instead of corrupting the whole stack.
+        while stack:
+            top = stack.pop()
+            if top is span_obj:
+                break
+        self.finished.append(span_obj)
+
+    # -- inspection --------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [s.to_record() for s in self.finished]
+
+    def reset(self) -> None:
+        self.finished.clear()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+
+# ---------------------------------------------------------------------------
+# Module-level fast path
+# ---------------------------------------------------------------------------
+
+_TRACER = Tracer()
+
+#: Read once at import; flipped at runtime by :func:`enable`/:func:`disable`.
+_ENABLED = os.environ.get("REPRO_TRACE", "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def is_enabled() -> bool:
+    """Whether spans are being recorded."""
+    return _ENABLED
+
+
+def enable(on: bool = True) -> None:
+    """Turn tracing on (or off with ``enable(False)``)."""
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+def disable() -> None:
+    enable(False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def reset() -> None:
+    """Drop all finished spans (scopes a trace to one benchmark run)."""
+    _TRACER.reset()
+
+
+def span(name: str, **attrs: Any):
+    """Start a span (use as a context manager); no-op when tracing is off."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any):
+    """Record an instantaneous event; no-op when tracing is off."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _TRACER.event(name, **attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of this thread (None when off or at top level)."""
+    if not _ENABLED:
+        return None
+    return _TRACER.current()
+
+
+def span_records() -> List[Dict[str, Any]]:
+    """JSON-able records of every finished span, in completion order."""
+    return _TRACER.records()
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator wrapping a function in a span named after it (reentrant)."""
+
+    def decorate(func: Callable) -> Callable:
+        label = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not _ENABLED:
+                return func(*args, **kwargs)
+            with _TRACER.span(label):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -6,12 +6,18 @@ Usage::
     python -m repro.service run specs/table1.json -j 2 --modes resyn
     python -m repro.service export --dir specs
     python -m repro.service cache ~/.resyn-cache [--clear]
+    python -m repro.service stats ~/.resyn-cache [--json]
 
 ``run`` schedules every goal × mode of a spec file over the worker pool,
 prints one line per job plus scheduler/cache statistics, and optionally dumps
 a machine-readable report.  A warm rerun against the same cache performs zero
 synthesizer invocations (``--expect-all-hits`` turns that into an assertion,
 which is what the CI smoke job uses).
+
+``stats`` reports the telemetry a cache directory has accumulated across
+runs (``telemetry.json``, written by every scheduler run that uses the
+cache): entry count, cumulative hit rate and evictions, and the last run's
+queue-wait/run-time split and per-worker utilization.
 """
 
 from __future__ import annotations
@@ -146,6 +152,44 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    entries = len(cache)
+    data = cache.telemetry()
+    if args.json:
+        print(json.dumps({"entries": entries, "telemetry": data}, indent=2, sort_keys=True))
+        return 0
+    print(f"{cache.root}: {entries} entries")
+    if data is None:
+        print("no telemetry recorded yet (run a batch against this cache first)")
+        return 0
+    totals = data.get("totals", {})
+    print(
+        f"{data.get('runs', 0)} runs: {totals.get('jobs', 0):.0f} jobs, "
+        f"{totals.get('cache_hits', 0):.0f} hits / {totals.get('cache_misses', 0):.0f} misses "
+        f"({100 * float(totals.get('cache_hit_rate', 0.0)):.0f}%), "
+        f"{totals.get('cache_stores', 0):.0f} stores, "
+        f"{totals.get('cache_evictions', 0):.0f} evictions"
+    )
+    if totals.get("saved_seconds"):
+        print(f"{float(totals['saved_seconds']):.2f}s of synthesis avoided by the cache")
+    last = data.get("last_run", {}).get("scheduler", {})
+    if last:
+        print(
+            f"last run: {last.get('jobs', 0)} jobs on {last.get('workers', 0)} workers, "
+            f"wall {float(last.get('wall_seconds', 0.0)):.2f}s, "
+            f"queue wait {float(last.get('queue_seconds', 0.0)):.2f}s, "
+            f"run time {float(last.get('run_seconds', 0.0)):.2f}s"
+        )
+        utilization = last.get("worker_utilization") or {}
+        if utilization:
+            rendered = ", ".join(
+                f"{worker} {100 * float(busy):.0f}%" for worker, busy in sorted(utilization.items())
+            )
+            print(f"worker utilization: {rendered}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.service", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -175,6 +219,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache.add_argument("dir", help="cache directory")
     cache.add_argument("--clear", action="store_true", help="delete every entry")
     cache.set_defaults(func=_cmd_cache)
+
+    stats = commands.add_parser("stats", help="report accumulated cache/scheduler telemetry")
+    stats.add_argument("dir", help="cache directory")
+    stats.add_argument("--json", action="store_true", help="print the raw telemetry as JSON")
+    stats.set_defaults(func=_cmd_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics, trace
+
 CACHE_FORMAT_VERSION = 1
 
 
@@ -65,6 +67,8 @@ class ResultCache:
         self.root = os.path.abspath(root)
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Traffic already folded into telemetry.json (see record_run_telemetry).
+        self._recorded: Dict[str, float] = {}
         self._objects = os.path.join(self.root, "objects")
         #: Approximate entry count, seeded lazily from one directory scan and
         #: maintained incrementally so store() does not walk the tree each
@@ -106,8 +110,12 @@ class ResultCache:
                 entry = json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
             self.stats.misses += 1
+            metrics.REGISTRY.counter("service.cache.misses").inc()
+            trace.event("cache.miss", fingerprint=fingerprint)
             return None
         self.stats.hits += 1
+        metrics.REGISTRY.counter("service.cache.hits").inc()
+        trace.event("cache.hit", fingerprint=fingerprint)
         try:
             os.utime(path)
         except OSError:
@@ -127,6 +135,8 @@ class ResultCache:
                 self._count += 1
         self._atomic_write(path, entry)
         self.stats.stores += 1
+        metrics.REGISTRY.counter("service.cache.stores").inc()
+        trace.event("cache.store", fingerprint=fingerprint)
         if (
             self.max_entries is not None
             and self._count is not None
@@ -145,6 +155,60 @@ class ResultCache:
         entry.update(fields)
         self._atomic_write(path, entry)
         return True
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def record_run_telemetry(self, scheduler: Dict[str, object]) -> str:
+        """Fold one scheduler run into ``<root>/telemetry.json``.
+
+        The file accumulates numeric totals across every run that used this
+        cache directory (hit/miss/store/eviction traffic plus the scheduler's
+        job and timing sums) and keeps the full stats of the most recent run,
+        which is what ``python -m repro.service stats`` reports.  Written
+        atomically, so concurrent schedulers can race without tearing the
+        file (a lost update only undercounts totals).
+        """
+        path = os.path.join(self.root, "telemetry.json")
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            data = {}
+        data["runs"] = int(data.get("runs", 0)) + 1
+        totals = data.setdefault("totals", {})
+        # self.stats is cumulative for this instance; fold only the traffic
+        # since the previous recording so repeated runs don't double count.
+        traffic = {
+            key: value - self._recorded.get(key, 0)
+            for key, value in self.stats.as_dict().items()
+            if key != "cache_hit_rate"
+        }
+        self._recorded = {
+            key: value for key, value in self.stats.as_dict().items() if key != "cache_hit_rate"
+        }
+        sched = dict(scheduler)
+        sched.pop("cache_hits", None)  # already counted by the cache's own traffic
+        for source in (traffic, sched):
+            for key, value in source.items():
+                if key == "workers" or not isinstance(value, (int, float)):
+                    continue
+                totals[key] = round(totals.get(key, 0) + value, 4)
+        looked_up = totals.get("cache_hits", 0) + totals.get("cache_misses", 0)
+        totals["cache_hit_rate"] = (
+            round(totals.get("cache_hits", 0) / looked_up, 4) if looked_up else 0.0
+        )
+        data["last_run"] = {"scheduler": dict(scheduler), "cache": self.stats.as_dict()}
+        self._atomic_write(path, data)
+        return path
+
+    def telemetry(self) -> Optional[dict]:
+        """The accumulated telemetry blob, or ``None`` if no run recorded one."""
+        try:
+            with open(os.path.join(self.root, "telemetry.json")) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -180,8 +244,11 @@ class ResultCache:
                 os.unlink(path)
                 deleted += 1
                 self.stats.evictions += 1
+                metrics.REGISTRY.counter("service.cache.evictions").inc()
             except OSError:
                 continue
+        if deleted:
+            trace.event("cache.evict", deleted=deleted)
         self._count = len(entries) - deleted
 
     def __len__(self) -> int:

@@ -453,12 +453,17 @@ def program_from_json(data: dict) -> s.Expr:
 
 
 def config_to_json(config: SynthesisConfig) -> dict:
-    """Encode a fully resolved configuration (every field, explicitly)."""
+    """Encode a fully resolved configuration (every field, explicitly).
+
+    ``trace`` is deliberately excluded: tracing is observability, not part of
+    the synthesis problem — encoding it would change every job fingerprint
+    and make traced runs miss the cache of untraced ones.
+    """
     checker = {f.name: getattr(config.checker, f.name) for f in dataclass_fields(CheckerConfig)}
     encoded = {
         f.name: getattr(config, f.name)
         for f in dataclass_fields(SynthesisConfig)
-        if f.name != "checker"
+        if f.name not in ("checker", "trace")
     }
     encoded["checker"] = checker
     return encoded

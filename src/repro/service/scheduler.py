@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SynthesisConfig
 from repro.core.goals import SynthesisGoal, SynthesisResult
+from repro.obs import metrics
 from repro.service.cache import ResultCache
 from repro.service.codec import config_from_json, config_to_json, goal_from_json, goal_to_json
 from repro.service.fingerprint import job_fingerprint
@@ -99,6 +100,12 @@ class JobResult:
     timed_out: bool = False
     cancelled: bool = False
     error: Optional[str] = None
+    #: Time the job sat in the queue before a worker picked it up (seconds).
+    queue_seconds: float = 0.0
+    #: Wall-clock the worker spent executing the job (seconds).
+    run_seconds: float = 0.0
+    #: PID of the worker process that executed the job (0 = not executed).
+    worker_pid: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -143,6 +150,14 @@ class SchedulerStats:
     #: Synthesis seconds avoided by cache hits and in-batch deduplication
     #: (from the stored records of the original runs).
     saved_seconds: float = 0.0
+    #: Total seconds jobs spent waiting in the queue before a worker picked
+    #: them up (submission to execution start, summed over executed jobs).
+    queue_seconds: float = 0.0
+    #: Total seconds workers spent executing jobs (the busy time that
+    #: ``worker_utilization`` divides by the wall clock).
+    run_seconds: float = 0.0
+    #: Busy fraction per worker, keyed ``w0..wN`` (workers sorted by PID).
+    worker_utilization: Dict[str, float] = field(default_factory=dict)
     #: Solver/search counters summed across all completed jobs.
     counters: Dict[str, float] = field(default_factory=dict)
 
@@ -159,6 +174,9 @@ class SchedulerStats:
             "wall_seconds": round(self.wall_seconds, 4),
             "cpu_seconds": round(self.cpu_seconds, 4),
             "saved_seconds": round(self.saved_seconds, 4),
+            "queue_seconds": round(self.queue_seconds, 4),
+            "run_seconds": round(self.run_seconds, 4),
+            "worker_utilization": dict(self.worker_utilization),
             "counters": dict(self.counters),
         }
 
@@ -172,6 +190,7 @@ def _execute_payload(payload: dict) -> dict:
     """
     from repro.core.synthesizer import synthesize
 
+    started = time.monotonic()
     goal = goal_from_json(payload["goal"])
     config = config_from_json(payload["config"])
     job_timeout = payload.get("timeout")
@@ -180,6 +199,12 @@ def _execute_payload(payload: dict) -> dict:
     result = synthesize(goal, config)
     record = result.to_record()
     record["worker_pid"] = os.getpid()
+    # Queue wait = submission to execution start.  time.monotonic() is
+    # comparable across the fork boundary on Linux (CLOCK_MONOTONIC is
+    # system-wide), and under the serial backend both stamps are in-process.
+    submitted = payload.get("submitted")
+    record["queue_seconds"] = max(started - submitted, 0.0) if submitted is not None else 0.0
+    record["run_seconds"] = time.monotonic() - started
     soft_timeout = config.timeout
     record["timed_out"] = bool(
         record["program"] is None and soft_timeout is not None and result.seconds >= soft_timeout
@@ -207,6 +232,7 @@ class BatchScheduler:
         self._ctx = multiprocessing.get_context(start_method)
         self.stats = SchedulerStats()
         self._cancelled = False
+        self._busy: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -220,6 +246,7 @@ class BatchScheduler:
         start = time.perf_counter()
         self._cancelled = False
         self.stats = SchedulerStats(jobs=len(jobs), workers=max(1, self.workers))
+        self._busy: Dict[int, float] = {}
         results: List[Optional[JobResult]] = [None] * len(jobs)
 
         pending: List[int] = []
@@ -280,7 +307,29 @@ class BatchScheduler:
             self._tally(result)
             final.append(result)
         self.stats.wall_seconds = time.perf_counter() - start
+        if self._busy and self.stats.wall_seconds > 0:
+            # Label workers w0..wN by sorted PID so the mapping is stable
+            # within a run (PIDs themselves are not comparable across runs).
+            self.stats.worker_utilization = {
+                f"w{slot}": round(min(self._busy[pid] / self.stats.wall_seconds, 1.0), 4)
+                for slot, pid in enumerate(sorted(self._busy))
+            }
+        self._record_metrics()
+        if self.cache is not None:
+            self.cache.record_run_telemetry(self.stats.as_dict())
         return final
+
+    def _record_metrics(self) -> None:
+        """Mirror this run's scheduling traffic into the metrics registry."""
+        registry = metrics.REGISTRY
+        registry.counter("service.runs").inc()
+        registry.counter("service.jobs").inc(self.stats.jobs)
+        registry.counter("service.cache_hits").inc(self.stats.cache_hits)
+        registry.counter("service.deduplicated").inc(self.stats.deduplicated)
+        registry.counter("service.synth_runs").inc(self.stats.synth_runs)
+        registry.histogram("service.queue_seconds").observe(self.stats.queue_seconds)
+        registry.histogram("service.run_seconds").observe(self.stats.run_seconds)
+        registry.gauge("service.workers").set(self.stats.workers)
 
     def run_goals(
         self,
@@ -300,14 +349,27 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     @staticmethod
     def _payload(job: Job) -> dict:
-        return {"goal": job.goal_json, "config": job.config_json, "timeout": job.timeout}
+        return {
+            "goal": job.goal_json,
+            "config": job.config_json,
+            "timeout": job.timeout,
+            "submitted": time.monotonic(),
+        }
 
     def _complete(self, job: Job, record: dict) -> JobResult:
+        # Scheduling timings are properties of *this run*, not of the
+        # fingerprinted job — strip them before the record reaches the cache
+        # so entries stay byte-identical across runs.
+        queue_seconds = float(record.pop("queue_seconds", 0.0))
+        run_seconds = float(record.pop("run_seconds", 0.0))
         result = JobResult(
             tag=job.tag,
             fingerprint=job.fingerprint,
             record=record,
             timed_out=bool(record.get("timed_out")),
+            queue_seconds=queue_seconds,
+            run_seconds=run_seconds,
+            worker_pid=int(record.get("worker_pid", 0)),
         )
         # Timed-out results are clock- and machine-dependent, not properties
         # of the fingerprinted payload — persisting them would make a later
@@ -398,6 +460,12 @@ class BatchScheduler:
                 stats.saved_seconds += result.seconds
             return
         stats.cpu_seconds += result.seconds
+        stats.queue_seconds += result.queue_seconds
+        stats.run_seconds += result.run_seconds
+        if result.worker_pid:
+            self._busy[result.worker_pid] = (
+                self._busy.get(result.worker_pid, 0.0) + result.run_seconds
+            )
         for key, value in result.stats.items():
             if _summable(key, value):
                 stats.counters[key] = stats.counters.get(key, 0) + value

@@ -31,6 +31,7 @@ from repro.logic import terms as t
 from repro.logic.simplify import simplify
 from repro.logic.sorts import BOOL, DATA, INT, SET, Sort
 from repro.logic.terms import Term
+from repro.obs import metrics, trace
 from repro.smt.linexpr import LinExpr
 from repro.smt.sat import CNF
 
@@ -96,6 +97,17 @@ _MODULE_CACHE_MAX = 1 << 16
 
 stats = EncoderStats()
 
+#: Module-wide preprocessing counters surfaced through the metrics registry
+#: (the per-encoder gate/encode counters live on each instance and flow
+#: through ``Solver.cache_report`` instead).
+metrics.REGISTRY.register_view(
+    "smt.encoder",
+    lambda: {
+        "preprocess_calls": stats.preprocess_calls,
+        "preprocess_cache_hits": stats.preprocess_cache_hits,
+    },
+)
+
 
 def _bounded_store(cache: Dict, key, value) -> None:
     """Insert into a module cache, clearing it wholesale at the bound."""
@@ -139,14 +151,15 @@ def _preprocess(formula: Term) -> Term:
         if cached is not None:
             stats.preprocess_cache_hits += 1
             return cached
-    result = simplify(formula)
-    if not isinstance(result, t.BoolConst):
-        fresh = _FreshNames()
-        result = _eliminate_ite(result)
-        result = _expand_data_equalities(result)
-        result = _nnf(result, positive=True)
-        result = _ground_sets(result, fresh)
-        result = simplify(result)
+    with trace.span("smt.preprocess"):
+        result = simplify(formula)
+        if not isinstance(result, t.BoolConst):
+            fresh = _FreshNames()
+            result = _eliminate_ite(result)
+            result = _expand_data_equalities(result)
+            result = _nnf(result, positive=True)
+            result = _ground_sets(result, fresh)
+            result = simplify(result)
     if _CACHING:
         _bounded_store(_PRE_CACHE, formula, result)
     return result
@@ -281,23 +294,28 @@ class IncrementalEncoder:
         if cached is not None:
             self.stats.encode_cache_hits += 1
             return cached
-        # Bound the gate cache *between* formula builds only: mid-build
-        # eviction could orphan a parent entry whose children are gone.
-        if len(self._gate_cache) >= _MODULE_CACHE_MAX:
-            self._gate_cache.clear()
-        preprocessed = _preprocess(formula)
-        if isinstance(preprocessed, t.BoolConst):
-            encoding = FormulaEncoding(0, CNF(), {}, {}, frozenset(), trivial=preprocessed.value)
-        else:
-            builder = _CnfBuilder(shared=self)
-            root = builder.literal_for(preprocessed)
-            encoding = FormulaEncoding(
-                root,
-                builder.cnf,
-                builder.linear_atoms,
-                builder.bool_atoms,
-                frozenset(builder.linear_atoms) | frozenset(builder.bool_atoms),
-            )
+        with trace.span("smt.encode") as sp:
+            # Bound the gate cache *between* formula builds only: mid-build
+            # eviction could orphan a parent entry whose children are gone.
+            if len(self._gate_cache) >= _MODULE_CACHE_MAX:
+                self._gate_cache.clear()
+            preprocessed = _preprocess(formula)
+            if isinstance(preprocessed, t.BoolConst):
+                encoding = FormulaEncoding(
+                    0, CNF(), {}, {}, frozenset(), trivial=preprocessed.value
+                )
+            else:
+                builder = _CnfBuilder(shared=self)
+                root = builder.literal_for(preprocessed)
+                encoding = FormulaEncoding(
+                    root,
+                    builder.cnf,
+                    builder.linear_atoms,
+                    builder.bool_atoms,
+                    frozenset(builder.linear_atoms) | frozenset(builder.bool_atoms),
+                )
+            if sp:
+                sp.count("clauses", len(encoding.cnf.clauses))
         self._cache[formula] = encoding
         return encoding
 

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, Mapping, Tuple
 
+from repro.obs import metrics
+
 
 Key = Hashable
 
@@ -316,6 +318,11 @@ class ScalingStats:
 #: cache-traffic telemetry alive for the harness.
 scaling_stats = ScalingStats()
 IntForm = Tuple[Tuple[Tuple[Key, int], ...], int]
+
+metrics.REGISTRY.register_view(
+    "smt.scaling",
+    lambda: {"queries": scaling_stats.queries, "cache_hits": scaling_stats.cache_hits},
+)
 
 
 def int_form(expr: "LinExpr") -> IntForm:

@@ -49,6 +49,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics
+
 
 Clause = Tuple[int, ...]
 
@@ -78,6 +80,21 @@ class SatStats:
 
 
 stats = SatStats()
+
+metrics.REGISTRY.register_view(
+    "smt.sat",
+    lambda: {
+        "solves": stats.solves,
+        "decisions": stats.decisions,
+        "propagations": stats.propagations,
+        "conflicts": stats.conflicts,
+        "var_bumps": stats.var_bumps,
+        "rescales": stats.rescales,
+        "learned_clauses": stats.learned_clauses,
+        "deleted_clauses": stats.deleted_clauses,
+        "db_reductions": stats.db_reductions,
+    },
+)
 
 
 @dataclass

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.logic import terms as t
 from repro.logic.terms import Term
+from repro.obs import metrics, trace
 from repro.smt import encoder as enc_mod
 from repro.smt import lia
 from repro.smt import sat
@@ -175,7 +176,8 @@ class Solver:
             encoding = encode(formula, use_cache=False)
             if encoding.trivial is not None:
                 return Model() if encoding.trivial else None
-            return self._solve(self._adapt(encoding), share=False)
+            with trace.span("smt.solve"):
+                return self._solve(self._adapt(encoding), share=False)
         cached = self._model_cache.get(formula, _MISSING)
         if cached is not _MISSING:
             self._model_cache.move_to_end(formula)
@@ -186,7 +188,8 @@ class Solver:
         if encoding.trivial is not None:
             result: Optional[Model] = Model() if encoding.trivial else None
         else:
-            result = self._solve(encoding, share=self.share_lemmas)
+            with trace.span("smt.solve"):
+                result = self._solve(encoding, share=self.share_lemmas)
         self._model_cache[formula] = result
         if len(self._model_cache) > self._model_cache_size:
             self._model_cache.popitem(last=False)
@@ -268,14 +271,24 @@ class Solver:
         assumptions = (encoding.root,) if encoding.root else ()
         for _ in range(self.max_theory_iterations):
             self.stats.sat_solves += 1
-            assignment = sat_solver.solve(assumptions)
+            with trace.span("sat.solve") as sat_span:
+                if sat_span:
+                    before = (sat.stats.propagations, sat.stats.decisions, sat.stats.conflicts)
+                assignment = sat_solver.solve(assumptions)
+                if sat_span:
+                    sat_span.count("propagations", sat.stats.propagations - before[0])
+                    sat_span.count("decisions", sat.stats.decisions - before[1])
+                    sat_span.count("conflicts", sat.stats.conflicts - before[2])
             if assignment is None:
                 return None
             literals = self._theory_literals(encoding, assignment)
             self.stats.theory_checks += 1
             constraints = [Constraint(expr) for _, expr in literals]
             try:
-                result = check_integer_feasible(constraints)
+                with trace.span("lia.check") as lia_span:
+                    result = check_integer_feasible(constraints)
+                    if lia_span:
+                        lia_span.count("constraints", len(constraints))
             except BudgetExceeded as exc:
                 raise SolverError(str(exc)) from exc
             if result.satisfiable:
@@ -357,11 +370,12 @@ class Solver:
         return model
 
 
-def theory_counters() -> Dict[str, float]:
-    """Snapshot of the process-wide SMT counters (LIA, SAT, integer scaling).
+def _theory_view() -> Dict[str, float]:
+    """Provider behind the ``smt.theory`` registry view.
 
-    All counters are monotonically increasing, so a per-run report is the
-    difference of two snapshots (see ``Synthesizer._collect_stats``):
+    One flat dictionary of every process-wide SMT counter (LIA, SAT, integer
+    scaling), under the exact key names ``SynthesisResult.stats`` and the
+    ``counters`` block of ``BENCH_synthesis.json`` have always used:
     integer-scaling cache traffic, Fourier-Motzkin eliminations and
     tightenings, unsat-core counts/sizes/probes, and the SAT engine's
     decision/conflict/VSIDS/learned-clause activity.
@@ -387,6 +401,19 @@ def theory_counters() -> Dict[str, float]:
         "sat_deleted_clauses": sat.stats.deleted_clauses,
         "sat_db_reductions": sat.stats.db_reductions,
     }
+
+
+metrics.REGISTRY.register_view("smt.theory", _theory_view)
+
+
+def theory_counters() -> Dict[str, float]:
+    """Snapshot of the process-wide SMT counters (LIA, SAT, integer scaling).
+
+    A view over the metrics registry (``smt.theory``); all counters are
+    monotonically increasing, so a per-run report is the difference of two
+    snapshots (see ``Synthesizer._collect_stats``).
+    """
+    return metrics.REGISTRY.collect("smt.theory")
 
 
 #: Sentinel distinguishing "cached None" from "not cached" in the model cache.

@@ -38,6 +38,7 @@ from repro.logic import terms as t
 from repro.logic.simplify import is_trivially_true, simplify
 from repro.logic.sorts import BOOL, DATA, INT
 from repro.logic.terms import Term
+from repro.obs import trace
 from repro.smt.encoder import EncodingError
 from repro.smt.solver import Solver, SolverError
 from repro.typing.context import Context, FixInfo, var_term
@@ -555,7 +556,8 @@ class TypeChecker:
         constraint = ResourceConstraint(simplify(guard), expr, equality=equality, origin=origin)
         if not constraint.has_unknowns():
             try:
-                ok = self.solver.check_valid(constraint.formula())
+                with trace.span("check.resource"):
+                    ok = self.solver.check_valid(constraint.formula())
             except (SolverError, EncodingError):
                 ok = False
             if not ok:
@@ -563,7 +565,8 @@ class TypeChecker:
             return ok
         self.store.add(constraint)
         try:
-            solution = self.cegis.solve(self.store.with_unknowns())
+            with trace.span("check.resource"):
+                solution = self.cegis.solve(self.store.with_unknowns())
         except (SolverError, EncodingError):
             solution = None
         if solution is None:
@@ -632,7 +635,8 @@ class TypeChecker:
         conclusion = t.substitute(goal.refinement, {NU_NAME: value})
         self.stats.subtype_queries += 1
         try:
-            ok = self.solver.check_valid(t.implies(hypothesis, conclusion))
+            with trace.span("check.subtype"):
+                ok = self.solver.check_valid(t.implies(hypothesis, conclusion))
         except (SolverError, EncodingError):
             ok = False
         if not ok:
