@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke profile
+.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke chaos-smoke profile
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
@@ -54,3 +54,28 @@ service-smoke:
 	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache
 	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache --expect-all-hits
 	$(PYTHON) -m repro.service stats /tmp/resyn-smoke-cache
+
+## What the CI chaos-smoke job runs: the Table 1 spec under deterministic
+## fault injection (worker crashes + hangs, torn cache writes, read
+## corruption) must produce programs byte-identical to a fault-free run,
+## within bounded wall-clock, with the failure traffic visible in telemetry.
+## Seed 7 is chosen so the fast subset draws 2 crashes and 2 hangs (see
+## benchmarks/check_chaos.py for the contract being enforced).
+chaos-smoke:
+	rm -rf /tmp/resyn-chaos-clean /tmp/resyn-chaos-cache
+	$(PYTHON) -m repro.service run specs/table1.json -j 2 \
+	  --cache /tmp/resyn-chaos-clean --json /tmp/chaos-baseline.json
+	REPRO_FAULTS="worker.crash=0.4:once,worker.hang=0.15:once,cache.write_torn=0.4" \
+	REPRO_FAULTS_SEED=7 \
+	  timeout 300 $(PYTHON) -m repro.service run specs/table1.json -j 2 \
+	  --cache /tmp/resyn-chaos-cache --timeout 10 --hard-timeout 2 \
+	  --json /tmp/chaos-cold.json
+	REPRO_FAULTS="cache.read_corrupt=0.5:once" REPRO_FAULTS_SEED=7 \
+	  timeout 300 $(PYTHON) -m repro.service run specs/table1.json -j 2 \
+	  --cache /tmp/resyn-chaos-cache --timeout 10 --hard-timeout 2 \
+	  --json /tmp/chaos-warm.json
+	$(PYTHON) -m repro.service stats /tmp/resyn-chaos-cache --json > /tmp/chaos-stats.json
+	$(PYTHON) benchmarks/check_chaos.py /tmp/chaos-baseline.json \
+	  /tmp/chaos-cold.json /tmp/chaos-warm.json --stats /tmp/chaos-stats.json \
+	  --require retries --require worker_kills --require hard_timeouts \
+	  --require pool_rebuilds --require cache_quarantined

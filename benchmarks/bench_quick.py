@@ -188,6 +188,14 @@ def run_service(serial_rows: list) -> dict:
         "run_seconds": round(scheduler.stats.run_seconds, 4),
         "worker_utilization": dict(scheduler.stats.worker_utilization),
         "programs_identical": True,
+        # Failure traffic (all zero on a healthy fault-free run; the CI
+        # chaos-smoke job is where these go nonzero — see check_chaos.py).
+        "retries": scheduler.stats.retries,
+        "worker_kills": scheduler.stats.worker_kills,
+        "hard_timeouts": scheduler.stats.hard_timeouts,
+        "poisoned": scheduler.stats.poisoned,
+        "pool_rebuilds": scheduler.stats.pool_rebuilds,
+        "degraded_serial": scheduler.stats.degraded_serial,
     }
 
 

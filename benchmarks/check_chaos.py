@@ -1,0 +1,112 @@
+"""Chaos-smoke checker: fault-injected runs must match the fault-free run.
+
+Compares one or more chaos reports (``python -m repro.service run --json``
+under an active ``REPRO_FAULTS`` plan) against a fault-free baseline report of
+the same spec, and asserts the fault-tolerance contract:
+
+* every job completed (no ``cancelled`` statuses — retries and quarantines
+  must *resolve*, not abandon, the work);
+* the synthesized programs are byte-identical to the baseline's, per tag —
+  crash recovery and corruption quarantine may never change *what* is
+  synthesized, only how many attempts it took;
+* the injected faults actually happened: the accumulated telemetry
+  (``python -m repro.service stats --json``) shows nonzero counts for every
+  ``--require``'d counter, so a plan that silently failed to inject (or
+  machinery that silently stopped counting) fails CI instead of greenwashing.
+
+Usage::
+
+    python -m repro.service run spec.json -j 2 --cache c1 --json clean.json
+    REPRO_FAULTS="worker.crash=0.4:once" \\
+        python -m repro.service run spec.json -j 2 --cache c2 --json chaos.json
+    python -m repro.service stats c2 --json > stats.json
+    python benchmarks/check_chaos.py clean.json chaos.json \\
+        --stats stats.json --require retries --require worker_kills
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional
+
+
+def load_report(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def programs_by_tag(report: dict) -> Dict[str, Optional[str]]:
+    return {row["tag"]: row["program"] for row in report["results"]}
+
+
+def check_chaos_report(baseline: dict, chaos: dict, label: str) -> int:
+    failures = 0
+    expected = programs_by_tag(baseline)
+    actual = programs_by_tag(chaos)
+    if set(expected) != set(actual):
+        print(f"FAIL [{label}]: job sets differ: {sorted(set(expected) ^ set(actual))}")
+        failures += 1
+    for row in chaos["results"]:
+        if row["status"] in ("cancelled", "error", "hard-timeout"):
+            print(f"FAIL [{label}]: {row['tag']} did not survive chaos: {row['status']}")
+            failures += 1
+    for tag in sorted(set(expected) & set(actual)):
+        if expected[tag] != actual[tag]:
+            print(
+                f"FAIL [{label}]: program drift under faults for {tag}:\n"
+                f"  baseline: {expected[tag]!r}\n"
+                f"  chaos:    {actual[tag]!r}"
+            )
+            failures += 1
+    if not failures:
+        print(f"ok [{label}]: {len(actual)} programs byte-identical to the fault-free run")
+    return failures
+
+
+def check_required_counters(stats: dict, required: list) -> int:
+    totals = (stats.get("telemetry") or {}).get("totals", {})
+    failures = 0
+    for key in required:
+        value = totals.get(key, 0)
+        if not value:
+            print(f"FAIL: expected nonzero {key!r} in accumulated telemetry, got {value!r}")
+            failures += 1
+        else:
+            print(f"ok: telemetry totals[{key}] = {value:g}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("baseline", help="fault-free run report (service run --json)")
+    parser.add_argument("chaos", nargs="+", help="fault-injected run report(s)")
+    parser.add_argument("--stats", help="service stats --json output to check counters in")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="COUNTER",
+        help="telemetry totals key that must be nonzero (repeatable)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    failures = 0
+    for path in args.chaos:
+        failures += check_chaos_report(baseline, load_report(path), path)
+    if args.stats:
+        failures += check_required_counters(load_report(args.stats), args.require)
+    elif args.require:
+        print("FAIL: --require given without --stats")
+        failures += 1
+    if failures:
+        print(f"{failures} chaos check(s) failed")
+        return 1
+    print("chaos checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,11 @@ layer every scaling PR (sharding, async APIs, multi-backend) builds on:
 * :mod:`repro.service.cache` — a persistent content-addressed result cache
   keyed by those fingerprints;
 * :mod:`repro.service.scheduler` — a job scheduler that fans goals out over a
-  ``multiprocessing`` worker pool with per-job timeouts, cancellation and
-  deterministic result collection;
+  supervised worker pool with per-job soft timeouts *and* parent-enforced
+  hard deadlines, crash retry with backoff, poison-job detection,
+  cancellation and deterministic result collection;
+* :mod:`repro.service.faults` — deterministic fault injection (worker
+  crash/hang, cache corruption, spawn failure) for chaos-testing the above;
 * :mod:`repro.service.specs` — declarative goal specifications (JSON/TOML)
   so new scenarios can be defined without writing Python;
 * ``python -m repro.service`` — the CLI entry point (see
@@ -20,6 +23,9 @@ layer every scaling PR (sharding, async APIs, multi-backend) builds on:
 """
 
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.faults import FaultPlan, FaultRule, FaultSpecError
+from repro.service.faults import configure as configure_faults
+from repro.service.faults import plan as fault_plan
 from repro.service.fingerprint import canonical_json, job_fingerprint
 from repro.service.scheduler import BatchScheduler, Job, JobResult, SchedulerStats, job_for_goal
 from repro.service.specs import (
@@ -34,13 +40,18 @@ from repro.service.specs import (
 __all__ = [
     "BatchScheduler",
     "CacheStats",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
     "Job",
     "JobResult",
     "ResultCache",
     "SPEC_FORMAT",
     "SchedulerStats",
     "canonical_json",
+    "configure_faults",
     "export_table_spec",
+    "fault_plan",
     "job_fingerprint",
     "job_for_goal",
     "jobs_from_spec",

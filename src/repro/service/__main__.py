@@ -28,7 +28,7 @@ import sys
 from typing import List, Optional
 
 from repro.service.cache import ResultCache
-from repro.service.scheduler import BatchScheduler, JobResult
+from repro.service.scheduler import DEFAULT_GRACE, DEFAULT_RETRIES, BatchScheduler, JobResult
 from repro.service.specs import export_table_spec, jobs_from_spec, load_spec, write_spec
 
 
@@ -37,6 +37,8 @@ def _status(result: JobResult) -> str:
         return "cancelled"
     if result.error:
         return "error"
+    if result.hard_timed_out:
+        return "hard-timeout"
     if result.timed_out:
         return "timeout"
     if not result.succeeded:
@@ -59,7 +61,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     cache = ResultCache(args.cache, max_entries=args.cache_max) if args.cache else None
-    scheduler = BatchScheduler(workers=args.jobs, cache=cache)
+    scheduler = BatchScheduler(
+        workers=args.jobs, cache=cache, retries=args.retries, grace=args.hard_timeout
+    )
     # Ctrl-C is handled inside run(): unfinished jobs come back marked
     # cancelled and the partial results are still printed below.
     results = scheduler.run(jobs)
@@ -86,12 +90,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if stats.saved_seconds:
         line += f", {stats.saved_seconds:.2f}s of synthesis avoided by the cache"
     print(line)
+    failure_traffic = (
+        stats.retries
+        or stats.worker_kills
+        or stats.hard_timeouts
+        or stats.poisoned
+        or stats.pool_rebuilds
+        or stats.degraded_serial
+    )
+    if failure_traffic:
+        line = (
+            f"faults survived: {stats.retries} retries, {stats.worker_kills} worker kills, "
+            f"{stats.hard_timeouts} hard timeouts, {stats.poisoned} poisoned, "
+            f"{stats.pool_rebuilds} pool rebuilds"
+        )
+        if stats.degraded_serial:
+            line += ", degraded to serial backend"
+        print(line)
     if cache is not None:
         c = cache.stats
-        print(
+        line = (
             f"cache: {c.hits} hits / {c.misses} misses "
             f"({100 * c.hit_rate():.0f}%), {c.stores} stores, {c.evictions} evictions"
         )
+        if c.quarantined or c.io_errors:
+            line += f", {c.quarantined} quarantined, {c.io_errors} I/O errors"
+        print(line)
 
     if args.json:
         report = {
@@ -155,11 +179,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     cache = ResultCache(args.dir)
     entries = len(cache)
+    quarantined = cache.quarantined_entries()
     data = cache.telemetry()
     if args.json:
-        print(json.dumps({"entries": entries, "telemetry": data}, indent=2, sort_keys=True))
+        print(
+            json.dumps(
+                {
+                    "entries": entries,
+                    "quarantined_entries": len(quarantined),
+                    "telemetry": data,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
         return 0
     print(f"{cache.root}: {entries} entries")
+    if quarantined:
+        print(f"{len(quarantined)} quarantined entries under {cache.root}/quarantine")
     if data is None:
         print("no telemetry recorded yet (run a batch against this cache first)")
         return 0
@@ -173,6 +210,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     )
     if totals.get("saved_seconds"):
         print(f"{float(totals['saved_seconds']):.2f}s of synthesis avoided by the cache")
+    failure_totals = {
+        key: totals.get(key, 0)
+        for key in (
+            "retries",
+            "worker_kills",
+            "hard_timeouts",
+            "poisoned",
+            "pool_rebuilds",
+            "cache_quarantined",
+            "cache_io_errors",
+        )
+        if totals.get(key)
+    }
+    if failure_totals:
+        rendered = ", ".join(f"{value:.0f} {key}" for key, value in failure_totals.items())
+        print(f"failure traffic: {rendered}")
     last = data.get("last_run", {}).get("scheduler", {})
     if last:
         print(
@@ -202,6 +255,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--modes", help="comma-separated mode override (e.g. resyn,synquid)")
     run.add_argument("--include-slow", action="store_true", help="also run goals marked slow")
     run.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRIES,
+        help=f"retry budget for crash-classified job failures (default {DEFAULT_RETRIES})",
+    )
+    run.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=DEFAULT_GRACE,
+        metavar="GRACE",
+        help=(
+            "grace seconds past the soft timeout before the parent kills a "
+            f"worker (hard deadline = timeout + grace; default {DEFAULT_GRACE:g})"
+        ),
+    )
     run.add_argument("--json", help="write a machine-readable report here")
     run.add_argument(
         "--expect-all-hits",

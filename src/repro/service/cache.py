@@ -14,15 +14,33 @@ per-run solver statistics.  Writes go through a temp file and ``os.replace``,
 so concurrent writers (multiple scheduler processes sharing one cache
 directory) can race without ever exposing a torn entry.
 
+**Integrity:** every entry carries a ``checksum`` field — the SHA-256 of its
+canonical JSON — written at store time and verified on every load.  An entry
+that fails verification (torn by a non-atomic writer, bit-rotted, truncated,
+undecodable) is *quarantined*: moved to ``<root>/quarantine/`` for post-mortem
+inspection instead of silently masquerading as a miss, counted into
+``cache.quarantined``, and the lookup proceeds as a miss so the result is
+simply recomputed.  Disk errors on the maintenance paths (LRU touch, eviction
+scan/unlink) are likewise counted into ``cache.io_errors`` rather than
+swallowed — a cache on a dying disk shows up in ``service stats`` instead of
+just getting slower.
+
 Eviction is least-recently-used, approximated by file modification time: a
 hit refreshes the entry's mtime, and when ``max_entries`` is exceeded the
 oldest entries are deleted.  The cache is an optimization layer — losing an
 entry only costs a re-synthesis — so crash-consistency of the eviction scan
 is deliberately not attempted.
+
+Fault injection (:mod:`repro.service.faults`): the ``cache.read_corrupt``
+point garbles an entry on disk just before a lookup reads it, and
+``cache.write_torn`` makes a store write a truncated entry straight to the
+final path.  Both are deterministic per fingerprint, which is how the chaos
+tests prove that corruption is always caught, quarantined and recomputed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -31,8 +49,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.obs import metrics, trace
+from repro.service import faults
 
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2  # v2: per-entry checksums, quarantine directory
 
 
 @dataclass
@@ -43,6 +62,10 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Entries that failed integrity verification and were quarantined.
+    quarantined: int = 0
+    #: OSErrors on maintenance paths (LRU touch, eviction scan/unlink).
+    io_errors: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -54,8 +77,17 @@ class CacheStats:
             "cache_misses": self.misses,
             "cache_stores": self.stores,
             "cache_evictions": self.evictions,
+            "cache_quarantined": self.quarantined,
+            "cache_io_errors": self.io_errors,
             "cache_hit_rate": round(self.hit_rate(), 4),
         }
+
+
+def record_checksum(entry: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON of ``entry`` (its own checksum excluded)."""
+    payload = {key: value for key, value in entry.items() if key != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -70,11 +102,15 @@ class ResultCache:
         #: Traffic already folded into telemetry.json (see record_run_telemetry).
         self._recorded: Dict[str, float] = {}
         self._objects = os.path.join(self.root, "objects")
+        self._quarantine_dir = os.path.join(self.root, "quarantine")
         #: Approximate entry count, seeded lazily from one directory scan and
         #: maintained incrementally so store() does not walk the tree each
         #: time (other processes sharing the directory drift it slightly;
         #: the overflow scan resynchronizes it).
         self._count: Optional[int] = None
+        #: Per-(point, fingerprint) occurrence counters for fault decisions,
+        #: so ``:once`` rules fire on the first lookup/store only.
+        self._fault_seen: Dict[Tuple[str, str], int] = {}
         os.makedirs(self._objects, exist_ok=True)
         self._write_meta()
 
@@ -99,16 +135,80 @@ class ResultCache:
                 os.unlink(tmp_path)
             raise
 
+    def _fault_attempt(self, point: str, fingerprint: str) -> int:
+        """Occurrence index of this (point, fingerprint) site, then advance it."""
+        key = (point, fingerprint)
+        attempt = self._fault_seen.get(key, 0)
+        self._fault_seen[key] = attempt + 1
+        return attempt
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a bad entry aside for post-mortem instead of deleting it."""
+        dest = os.path.join(self._quarantine_dir, os.path.basename(path))
+        try:
+            os.makedirs(self._quarantine_dir, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # Can't even move it; drop it so it stops matching lookups.
+            self.stats.io_errors += 1
+            metrics.REGISTRY.counter("service.cache.io_errors").inc()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+        if self._count is not None and self._count > 0:
+            self._count -= 1
+        metrics.REGISTRY.counter("service.cache.quarantined").inc()
+        trace.event("cache.quarantine", path=os.path.basename(path), reason=reason)
+
+    def _load_verified(self, path: str) -> Optional[dict]:
+        """Load an entry and verify its checksum; quarantine on any failure.
+
+        Returns the entry with its ``checksum`` field stripped (so records
+        read back byte-identical to what was stored), or ``None`` — missing
+        file, or corrupt-and-quarantined.
+        """
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._quarantine(path, "undecodable")
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(path, "not-a-record")
+            return None
+        stored = entry.pop("checksum", None)
+        if stored != record_checksum(entry):
+            self._quarantine(path, "checksum-mismatch" if stored else "missing-checksum")
+            return None
+        return entry
+
+    def quarantined_entries(self) -> List[str]:
+        """Basenames of quarantined entries (empty if none were ever caught)."""
+        try:
+            return sorted(os.listdir(self._quarantine_dir))
+        except FileNotFoundError:
+            return []
+
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
     def lookup(self, fingerprint: str) -> Optional[dict]:
         """The cached record for ``fingerprint``, refreshing its LRU stamp."""
         path = self._entry_path(fingerprint)
-        try:
-            with open(path) as handle:
-                entry = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        plan = faults.plan()
+        if plan.active and os.path.exists(path):
+            attempt = self._fault_attempt(faults.CACHE_READ_CORRUPT, fingerprint)
+            if plan.fires(faults.CACHE_READ_CORRUPT, fingerprint, attempt):
+                self._corrupt_on_disk(path)
+        entry = self._load_verified(path)
+        if entry is None:
             self.stats.misses += 1
             metrics.REGISTRY.counter("service.cache.misses").inc()
             trace.event("cache.miss", fingerprint=fingerprint)
@@ -119,7 +219,10 @@ class ResultCache:
         try:
             os.utime(path)
         except OSError:
-            pass  # LRU stamp only; a failed touch just ages the entry
+            # LRU stamp only; a failed touch just ages the entry — but count
+            # it, a disk that refuses utime is telling us something.
+            self.stats.io_errors += 1
+            metrics.REGISTRY.counter("service.cache.io_errors").inc()
         return entry
 
     def store(self, fingerprint: str, record: dict) -> None:
@@ -127,13 +230,22 @@ class ResultCache:
         entry = dict(record)
         entry["fingerprint"] = fingerprint
         entry.setdefault("stored_at", time.time())
+        entry["checksum"] = record_checksum(entry)
         path = self._entry_path(fingerprint)
         if self.max_entries is not None:
             if self._count is None:
                 self._count = len(self._scan())
             if not os.path.exists(path):  # overwrites don't grow the cache
                 self._count += 1
-        self._atomic_write(path, entry)
+        plan = faults.plan()
+        if plan.active and plan.fires(
+            faults.CACHE_WRITE_TORN,
+            fingerprint,
+            self._fault_attempt(faults.CACHE_WRITE_TORN, fingerprint),
+        ):
+            self._torn_write(path, entry)
+        else:
+            self._atomic_write(path, entry)
         self.stats.stores += 1
         metrics.REGISTRY.counter("service.cache.stores").inc()
         trace.event("cache.store", fingerprint=fingerprint)
@@ -147,14 +259,35 @@ class ResultCache:
     def update(self, fingerprint: str, **fields: object) -> bool:
         """Merge extra fields (e.g. measured bounds) into an existing entry."""
         path = self._entry_path(fingerprint)
-        try:
-            with open(path) as handle:
-                entry = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        entry = self._load_verified(path)
+        if entry is None:
             return False
         entry.update(fields)
+        entry["checksum"] = record_checksum(entry)
         self._atomic_write(path, entry)
         return True
+
+    # ------------------------------------------------------------------
+    # Fault-injection effects (deterministic chaos; see service/faults.py)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _corrupt_on_disk(path: str) -> None:
+        """Garble an entry in place, simulating bit rot under a reader."""
+        try:
+            with open(path, "r+b") as handle:
+                data = handle.read()
+                handle.seek(max(len(data) // 2 - 4, 0))
+                handle.write(b"\x00CORRUPT\x00")
+        except OSError:
+            pass
+
+    @staticmethod
+    def _torn_write(path: str, entry: dict) -> None:
+        """Write a truncated entry straight to the final path (no rename)."""
+        payload = json.dumps(entry, sort_keys=True)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(payload[: len(payload) // 2])
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -223,7 +356,11 @@ class ResultCache:
                     try:
                         found.append((os.path.getmtime(path), path))
                     except OSError:
-                        continue  # concurrently evicted
+                        # Usually a concurrent eviction; still worth counting,
+                        # a stream of these is a disk problem, not a race.
+                        self.stats.io_errors += 1
+                        metrics.REGISTRY.counter("service.cache.io_errors").inc()
+                        continue
         found.sort()
         return found
 
@@ -246,6 +383,8 @@ class ResultCache:
                 self.stats.evictions += 1
                 metrics.REGISTRY.counter("service.cache.evictions").inc()
             except OSError:
+                self.stats.io_errors += 1
+                metrics.REGISTRY.counter("service.cache.io_errors").inc()
                 continue
         if deleted:
             trace.event("cache.evict", deleted=deleted)
@@ -267,6 +406,8 @@ class ResultCache:
                 os.unlink(path)
                 removed += 1
             except OSError:
+                self.stats.io_errors += 1
+                metrics.REGISTRY.counter("service.cache.io_errors").inc()
                 continue
         self._count = 0
         return removed

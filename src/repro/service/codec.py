@@ -469,12 +469,26 @@ def config_to_json(config: SynthesisConfig) -> dict:
     return encoded
 
 
+#: Scheduling-policy knobs that deliberately do NOT live on SynthesisConfig:
+#: they change how a job is *executed* (and would poison fingerprints/cache
+#: keys if encoded), not what it computes.  They belong on the scheduler
+#: (``BatchScheduler(retries=, grace=)``) or the job (``Job.retries``).
+_SERVICE_POLICY_FIELDS = ("retries", "grace", "hard_timeout", "backoff_base", "backoff_cap")
+
+
 def config_from_json(data: dict) -> SynthesisConfig:
     checker_names = {f.name for f in dataclass_fields(CheckerConfig)}
     config_names = {f.name for f in dataclass_fields(SynthesisConfig)}
     checker_data = data.get("checker", {})
     unknown = (set(checker_data) - checker_names) | (set(data) - config_names)
     if unknown:
+        misplaced = sorted(unknown & set(_SERVICE_POLICY_FIELDS))
+        if misplaced:
+            raise CodecError(
+                f"{misplaced} are scheduling policy, not synthesis configuration: "
+                "set them on BatchScheduler/Job (they are excluded from job "
+                "fingerprints so retuning them never invalidates cached results)"
+            )
         raise CodecError(f"unknown configuration fields: {sorted(unknown)}")
     checker = CheckerConfig(**checker_data)
     rest = {k: v for k, v in data.items() if k != "checker"}

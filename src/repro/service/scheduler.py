@@ -1,49 +1,86 @@
-"""Parallel job scheduler for batch synthesis.
+"""Parallel job scheduler for batch synthesis, with fault tolerance.
 
-Fans a set of synthesis jobs out over a ``multiprocessing`` worker pool and
-collects results *deterministically*: results come back in submission order
-regardless of which worker finished first, and the synthesized programs are
-byte-identical to a serial run because the search itself is deterministic and
-verdict-driven (:mod:`repro.core.synthesizer`) — parallelism only changes who
-executes a job, never what the job computes.
+Fans a set of synthesis jobs out over a pool of worker processes and collects
+results *deterministically*: results come back in submission order regardless
+of which worker finished first, and the synthesized programs are byte-identical
+to a serial run because the search itself is deterministic and verdict-driven
+(:mod:`repro.core.synthesizer`) — parallelism only changes who executes a job,
+never what the job computes.
 
 Jobs cross the process boundary as plain JSON-able payloads (goals and
 configurations via :mod:`repro.service.codec` — component closures never get
 pickled) and results come back as the records of
 :meth:`repro.core.goals.SynthesisResult.to_record`.
 
-Scheduling features:
+The pool is supervised directly by the parent (one long-lived worker process
+per slot, a duplex pipe each) rather than through ``multiprocessing.Pool``,
+because fault tolerance needs powers ``Pool`` does not grant: killing exactly
+one hung worker, noticing exactly which job died with a crashed one, and
+respawning either without losing the rest of the batch.
 
-* **per-job timeouts** — enforced *inside* the worker through the
-  synthesizer's own deadline checks, so a timed-out job returns a clean
-  no-solution record instead of poisoning the pool;
-* **cancellation** — :meth:`BatchScheduler.cancel` (or a ``KeyboardInterrupt``
-  during :meth:`~BatchScheduler.run`) terminates the pool and marks every
-  unfinished job as cancelled, returning the partial results collected so far;
-* **cache integration** — with a :class:`repro.service.cache.ResultCache`
-  attached, fingerprint hits skip synthesis entirely and fresh results are
-  persisted on completion;
-* **in-flight deduplication** — jobs in one batch that share a fingerprint
-  (overlapping requests) are synthesized once and share the result.
+Failure semantics (see also ``docs/ARCHITECTURE.md``):
 
-``workers <= 1`` runs jobs in-process with identical semantics — that is the
-baseline the determinism tests compare the pool against.
+* **soft timeout** — enforced *inside* the worker through the synthesizer's
+  own deadline checks; a cooperating job returns a clean no-solution record;
+* **hard deadline** — the parent independently enforces ``soft timeout +
+  grace`` per job; a worker that blows through it (a SAT loop that stopped
+  polling, an injected hang) is killed and respawned, and the job is marked
+  ``hard_timed_out`` once its retry budget is spent;
+* **crash recovery** — a worker that dies mid-job (crash, OOM kill) is
+  respawned and the job retried with deterministic capped exponential
+  backoff, up to ``retries`` attempts;
+* **poison jobs** — a job that kills its worker ``POISON_KILLS`` times
+  becomes an error result instead of retrying forever;
+* **pool breakage** — every lost worker is respawned (a pool rebuild); if no
+  worker can be (re)spawned at all, the remaining jobs gracefully degrade to
+  the in-process serial backend;
+* **cancellation** — :meth:`BatchScheduler.cancel` (or ``KeyboardInterrupt``
+  during :meth:`~BatchScheduler.run`) kills the pool and marks every
+  unfinished job cancelled, returning the partial results collected so far.
+
+Scheduling features carried over from the batch-service PR: cache integration
+(fingerprint hits skip synthesis; fresh results are persisted) and in-batch
+fingerprint deduplication.  ``workers <= 1`` runs jobs in-process with
+identical semantics — that is the baseline the determinism tests compare the
+pool against.  Worker-level fault injection (``worker.crash``/``worker.hang``
+from :mod:`repro.service.faults`) only applies to pool workers: in-process
+execution has no process boundary to kill.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SynthesisConfig
 from repro.core.goals import SynthesisGoal, SynthesisResult
 from repro.obs import metrics
+from repro.service import faults
 from repro.service.cache import ResultCache
 from repro.service.codec import config_from_json, config_to_json, goal_from_json, goal_to_json
 from repro.service.fingerprint import job_fingerprint
+
+#: Default number of times a crash-classified failure is re-executed.
+DEFAULT_RETRIES = 2
+#: Default seconds past the soft timeout before the parent kills a worker.
+DEFAULT_GRACE = 5.0
+#: A job that costs this many worker processes is poison: error, never retry.
+POISON_KILLS = 2
+#: Deterministic capped exponential backoff: base * 2**(attempt-1), <= cap.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 1.0
+#: Exit code of an injected worker crash (visible in error results).
+_CRASH_EXIT = 73
+#: How long an injected hang sleeps per nap; the parent's hard deadline is
+#: what ends it, the chunking only keeps the child responsive to signals.
+_HANG_NAP = 3600.0
+
 
 #: Counter keys that are plain sums and therefore meaningful to aggregate
 #: across workers (rates and averages are recomputed, never summed).
@@ -61,6 +98,10 @@ class Job:
     tag: str
     #: Per-job wall-clock budget; overrides the config timeout when tighter.
     timeout: Optional[float] = None
+    #: Per-job retry budget for crash-classified failures; ``None`` uses the
+    #: scheduler's.  Like ``timeout``, retry policy is *scheduling*, not part
+    #: of the synthesis problem, so it is excluded from the fingerprint.
+    retries: Optional[int] = None
     fingerprint: str = ""
 
     def goal(self) -> SynthesisGoal:
@@ -75,6 +116,7 @@ def job_for_goal(
     config: Optional[SynthesisConfig] = None,
     tag: Optional[str] = None,
     timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> Job:
     """Package a goal + configuration as a schedulable, cache-addressable job."""
     config = config or SynthesisConfig.resyn()
@@ -83,6 +125,7 @@ def job_for_goal(
         config_json=config_to_json(config),
         tag=tag if tag is not None else goal.name,
         timeout=timeout,
+        retries=retries,
         fingerprint=job_fingerprint(goal, config),
     )
 
@@ -98,8 +141,12 @@ class JobResult:
     #: Another job in the same batch had the same fingerprint and ran for us.
     deduplicated: bool = False
     timed_out: bool = False
+    #: The parent killed the worker at the hard deadline (soft + grace).
+    hard_timed_out: bool = False
     cancelled: bool = False
     error: Optional[str] = None
+    #: Execution attempts consumed (0 = served without executing: cache/dedup).
+    attempts: int = 0
     #: Time the job sat in the queue before a worker picked it up (seconds).
     queue_seconds: float = 0.0
     #: Wall-clock the worker spent executing the job (seconds).
@@ -123,11 +170,35 @@ class JobResult:
     def stats(self) -> Dict[str, object]:
         return dict(self.record.get("stats") or {}) if self.record else {}
 
-    def to_synthesis_result(self, goal: SynthesisGoal) -> SynthesisResult:
-        """Rebuild the full :class:`SynthesisResult` for ``goal``."""
-        if self.record is None:
-            raise ValueError(f"job {self.tag!r} produced no record ({self.error or 'cancelled'})")
-        return SynthesisResult.from_record(self.record, goal)
+    def failure_reason(self) -> Optional[str]:
+        """Human-readable reason when no record was produced (else ``None``)."""
+        if self.record is not None:
+            return None
+        if self.error is not None:
+            return self.error
+        if self.hard_timed_out:
+            return "hard timeout (worker killed at soft timeout + grace)"
+        if self.cancelled:
+            return "cancelled"
+        return "no record"
+
+    def to_synthesis_result(self, goal: SynthesisGoal, strict: bool = True) -> SynthesisResult:
+        """Rebuild the full :class:`SynthesisResult` for ``goal``.
+
+        Jobs that produced no record (cancelled, crashed, hard-timed-out)
+        raise in strict mode; with ``strict=False`` they come back as an
+        explicit failure result (no program, the reason under
+        ``stats["service_failure"]``) so one bad job does not abort
+        consumption of a whole batch.
+        """
+        if self.record is not None:
+            return SynthesisResult.from_record(self.record, goal)
+        reason = self.failure_reason() or "no record"
+        if strict:
+            raise ValueError(f"job {self.tag!r} produced no record ({reason})")
+        return SynthesisResult(
+            goal=goal, program=None, seconds=0.0, stats={"service_failure": reason}
+        )
 
 
 @dataclass
@@ -143,6 +214,18 @@ class SchedulerStats:
     timeouts: int = 0
     cancelled: int = 0
     errors: int = 0
+    #: Crash-classified re-executions performed this run.
+    retries: int = 0
+    #: Worker processes lost mid-job (crashed on their own or parent-killed).
+    worker_kills: int = 0
+    #: Jobs whose worker was killed at the hard deadline (soft + grace).
+    hard_timeouts: int = 0
+    #: Jobs declared poison after killing POISON_KILLS workers.
+    poisoned: int = 0
+    #: Replacement workers spawned after a loss (pool rebuilds).
+    pool_rebuilds: int = 0
+    #: 1 when pool creation failed entirely and jobs ran on the serial backend.
+    degraded_serial: int = 0
     wall_seconds: float = 0.0
     #: Sum of per-job synthesis seconds actually spent this run
     #: (serial-equivalent work performed).
@@ -171,6 +254,12 @@ class SchedulerStats:
             "timeouts": self.timeouts,
             "cancelled": self.cancelled,
             "errors": self.errors,
+            "retries": self.retries,
+            "worker_kills": self.worker_kills,
+            "hard_timeouts": self.hard_timeouts,
+            "poisoned": self.poisoned,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_serial": self.degraded_serial,
             "wall_seconds": round(self.wall_seconds, 4),
             "cpu_seconds": round(self.cpu_seconds, 4),
             "saved_seconds": round(self.saved_seconds, 4),
@@ -199,9 +288,11 @@ def _execute_payload(payload: dict) -> dict:
     result = synthesize(goal, config)
     record = result.to_record()
     record["worker_pid"] = os.getpid()
-    # Queue wait = submission to execution start.  time.monotonic() is
-    # comparable across the fork boundary on Linux (CLOCK_MONOTONIC is
-    # system-wide), and under the serial backend both stamps are in-process.
+    # Queue wait = submission to execution start.  The parent only includes
+    # the "submitted" stamp when both stamps live in one monotonic clock
+    # domain: in-process (serial backend) or across fork on Linux, where
+    # CLOCK_MONOTONIC is system-wide.  Under spawn the stamp is omitted and
+    # queue wait reports 0.0 instead of cross-domain garbage.
     submitted = payload.get("submitted")
     record["queue_seconds"] = max(started - submitted, 0.0) if submitted is not None else 0.0
     record["run_seconds"] = time.monotonic() - started
@@ -212,6 +303,100 @@ def _execute_payload(payload: dict) -> dict:
     return record
 
 
+def _worker_loop(conn) -> None:
+    """Long-lived pool worker: receive payloads, synthesize, send records.
+
+    Injected faults are decided here — in the child, from the plan shipped
+    inside each payload — so the serial backend (which calls
+    :func:`_execute_payload` directly) can never crash or hang the parent.
+    """
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if payload is None:
+            break
+        spec = payload.get("faults")
+        if spec:
+            plan = faults.FaultPlan.parse(spec, seed=payload.get("faults_seed", 0))
+            key = payload.get("fault_key", "")
+            attempt = payload.get("attempt", 0)
+            if plan.fires(faults.WORKER_CRASH, key, attempt):
+                os._exit(_CRASH_EXIT)
+            if plan.fires(faults.WORKER_HANG, key, attempt):
+                while True:  # the parent's hard deadline ends this
+                    time.sleep(_HANG_NAP)
+        try:
+            record = _execute_payload(payload)
+        except KeyboardInterrupt:
+            break
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent as data
+            try:
+                conn.send(("error", repr(exc)))
+            except (OSError, ValueError):
+                break
+        else:
+            try:
+                conn.send(("ok", record))
+            except (OSError, ValueError):
+                break
+
+
+class _Worker:
+    """One supervised pool worker: a process plus its duplex pipe."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_loop, args=(child_conn,), daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid or 0
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self.proc.exitcode
+
+    def kill(self) -> None:
+        """Forcibly terminate (hung or crashed worker)."""
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):
+            self.proc.terminate()
+        self.proc.join(timeout=5.0)
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Orderly shutdown; escalates to kill if the worker won't exit."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self.proc.join(timeout=1.0)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5.0)
+        self.conn.close()
+
+
+@dataclass
+class _Active:
+    """Bookkeeping for a job currently executing on a worker."""
+
+    index: int
+    attempt: int
+    started: float
+    #: Parent-enforced kill time (monotonic), None when the job has no soft
+    #: timeout to anchor it.
+    deadline: Optional[float]
+
+
 class BatchScheduler:
     """Schedules synthesis jobs over a worker pool, with optional caching."""
 
@@ -220,11 +405,23 @@ class BatchScheduler:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         start_method: Optional[str] = None,
+        retries: int = DEFAULT_RETRIES,
+        grace: float = DEFAULT_GRACE,
+        backoff_base: float = BACKOFF_BASE,
+        backoff_cap: float = BACKOFF_CAP,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if grace < 0:
+            raise ValueError("grace must be non-negative")
         self.workers = workers
         self.cache = cache
+        self.retries = retries
+        self.grace = grace
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         if start_method is None:
             # fork is dramatically cheaper (no re-import per worker) and the
             # synthesis pipeline is single-threaded, so it is safe here.
@@ -233,6 +430,7 @@ class BatchScheduler:
         self.stats = SchedulerStats()
         self._cancelled = False
         self._busy: Dict[int, float] = {}
+        self._spawn_seq = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -247,10 +445,11 @@ class BatchScheduler:
         self._cancelled = False
         self.stats = SchedulerStats(jobs=len(jobs), workers=max(1, self.workers))
         self._busy: Dict[int, float] = {}
+        self._spawn_seq = 0
         results: List[Optional[JobResult]] = [None] * len(jobs)
 
         pending: List[int] = []
-        primary_for: Dict[str, int] = {}
+        primary_for: Dict[Tuple[str, Optional[float]], int] = {}
         duplicates: Dict[int, int] = {}
         for index, job in enumerate(jobs):
             if self.cache is not None and job.fingerprint:
@@ -295,6 +494,7 @@ class BatchScheduler:
                 cache_hit=primary_result.cache_hit,
                 deduplicated=True,
                 timed_out=primary_result.timed_out,
+                hard_timed_out=primary_result.hard_timed_out,
                 cancelled=primary_result.cancelled,
                 error=primary_result.error,
             )
@@ -327,6 +527,12 @@ class BatchScheduler:
         registry.counter("service.cache_hits").inc(self.stats.cache_hits)
         registry.counter("service.deduplicated").inc(self.stats.deduplicated)
         registry.counter("service.synth_runs").inc(self.stats.synth_runs)
+        registry.counter("service.retries").inc(self.stats.retries)
+        registry.counter("service.worker_kills").inc(self.stats.worker_kills)
+        registry.counter("service.hard_timeouts").inc(self.stats.hard_timeouts)
+        registry.counter("service.poisoned").inc(self.stats.poisoned)
+        registry.counter("service.pool_rebuilds").inc(self.stats.pool_rebuilds)
+        registry.counter("service.degraded_serial").inc(self.stats.degraded_serial)
         registry.histogram("service.queue_seconds").observe(self.stats.queue_seconds)
         registry.histogram("service.run_seconds").observe(self.stats.run_seconds)
         registry.gauge("service.workers").set(self.stats.workers)
@@ -336,11 +542,17 @@ class BatchScheduler:
         goals: Sequence[SynthesisGoal],
         config: Optional[SynthesisConfig] = None,
         timeout: Optional[float] = None,
+        strict: bool = True,
     ) -> List[SynthesisResult]:
-        """Convenience wrapper: schedule goals, return full results in order."""
+        """Convenience wrapper: schedule goals, return full results in order.
+
+        With ``strict=False``, jobs that produced no record (cancelled,
+        crashed, hard-timed-out) come back as explicit failure results
+        instead of raising, so one bad job cannot abort the whole batch.
+        """
         jobs = [job_for_goal(goal, config, timeout=timeout) for goal in goals]
         return [
-            job_result.to_synthesis_result(goal)
+            job_result.to_synthesis_result(goal, strict=strict)
             for goal, job_result in zip(goals, self.run(jobs))
         ]
 
@@ -348,15 +560,35 @@ class BatchScheduler:
     # Execution backends
     # ------------------------------------------------------------------
     @staticmethod
-    def _payload(job: Job) -> dict:
-        return {
+    def _payload(job: Job, clock_shared: bool = True) -> dict:
+        payload = {
             "goal": job.goal_json,
             "config": job.config_json,
             "timeout": job.timeout,
-            "submitted": time.monotonic(),
         }
+        # The submission stamp is only cross-comparable when both ends share
+        # one monotonic clock domain (in-process, or fork on Linux); under
+        # spawn it is omitted so queue wait reports 0.0, not garbage.
+        if clock_shared:
+            payload["submitted"] = time.monotonic()
+        return payload
 
-    def _complete(self, job: Job, record: dict) -> JobResult:
+    def _soft_timeout(self, job: Job) -> Optional[float]:
+        """The effective soft budget anchoring the parent's hard deadline."""
+        config_timeout = job.config_json.get("timeout")
+        soft = job.timeout
+        if config_timeout is not None:
+            soft = config_timeout if soft is None else min(soft, config_timeout)
+        return soft
+
+    def _job_retries(self, job: Job) -> int:
+        return job.retries if job.retries is not None else self.retries
+
+    def _backoff(self, attempt: int) -> float:
+        """Deterministic capped exponential backoff before retry ``attempt``."""
+        return min(self.backoff_base * (2 ** max(attempt - 1, 0)), self.backoff_cap)
+
+    def _complete(self, job: Job, record: dict, attempts: int = 1) -> JobResult:
         # Scheduling timings are properties of *this run*, not of the
         # fingerprinted job — strip them before the record reaches the cache
         # so entries stay byte-identical across runs.
@@ -367,6 +599,7 @@ class BatchScheduler:
             fingerprint=job.fingerprint,
             record=record,
             timed_out=bool(record.get("timed_out")),
+            attempts=attempts,
             queue_seconds=queue_seconds,
             run_seconds=run_seconds,
             worker_pid=int(record.get("worker_pid", 0)),
@@ -379,7 +612,7 @@ class BatchScheduler:
         return result
 
     def _run_serial(
-        self, jobs: Sequence[Job], pending: List[int], results: List[Optional[JobResult]]
+        self, jobs: Sequence[Job], pending: Sequence[int], results: List[Optional[JobResult]]
     ) -> None:
         for index in pending:
             if self._cancelled:
@@ -398,49 +631,215 @@ class BatchScheduler:
                 )
             except Exception as exc:  # noqa: BLE001 - worker parity
                 results[index] = JobResult(
-                    tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, error=repr(exc)
+                    tag=jobs[index].tag,
+                    fingerprint=jobs[index].fingerprint,
+                    error=repr(exc),
+                    attempts=1,
                 )
             else:
                 results[index] = self._complete(jobs[index], record)
 
+    # -- supervised pool ---------------------------------------------------
+    def _spawn_worker(self, plan: faults.FaultPlan) -> _Worker:
+        """Spawn one pool worker (the ``pool.spawn`` fault point)."""
+        seq = self._spawn_seq
+        self._spawn_seq += 1
+        if plan.fires(faults.POOL_SPAWN, "spawn", seq):
+            raise OSError("injected fault: pool.spawn")
+        return _Worker(self._ctx)
+
     def _run_pool(
         self, jobs: Sequence[Job], pending: List[int], results: List[Optional[JobResult]]
     ) -> None:
-        pool = self._ctx.Pool(processes=self.workers)
+        plan = faults.plan()
+        clock_shared = self._ctx.get_start_method() == "fork"
+        ship_faults = plan.active and (
+            plan.rate(faults.WORKER_CRASH) > 0 or plan.rate(faults.WORKER_HANG) > 0
+        )
+
+        workers: List[_Worker] = []
+        for _ in range(min(self.workers, len(pending))):
+            try:
+                workers.append(self._spawn_worker(plan))
+            except OSError:
+                continue
+        if not workers:
+            # Pool creation failed outright: degrade to the serial backend.
+            self.stats.degraded_serial = 1
+            metrics.REGISTRY.counter("service.pool_fallbacks").inc()
+            self._run_serial(jobs, pending, results)
+            return
+
+        queue: Deque[int] = deque(pending)
+        retry_heap: List[Tuple[float, int]] = []
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        kills: Dict[int, int] = {}
+        active: Dict[_Worker, _Active] = {}
+        idle: List[_Worker] = list(workers)
+
+        def respawn() -> None:
+            try:
+                fresh = self._spawn_worker(plan)
+            except OSError:
+                return
+            workers.append(fresh)
+            idle.append(fresh)
+            self.stats.pool_rebuilds += 1
+
+        def retire(worker: _Worker, charge_started: Optional[float]) -> None:
+            """Remove a lost worker, charging its partial busy time."""
+            if charge_started is not None:
+                self._busy[worker.pid] = self._busy.get(worker.pid, 0.0) + max(
+                    time.monotonic() - charge_started, 0.0
+                )
+            if worker in workers:
+                workers.remove(worker)
+            worker.kill()
+
+        def finish_failed(entry: _Active, cause: str, detail: str) -> None:
+            """A worker died under this job: poison, retry, or final failure."""
+            index = entry.index
+            job = jobs[index]
+            self.stats.worker_kills += 1
+            kills[index] = kills.get(index, 0) + 1
+            attempts[index] += 1
+            if cause == "hang":
+                self.stats.hard_timeouts += 1
+            if kills[index] >= POISON_KILLS:
+                self.stats.poisoned += 1
+                results[index] = JobResult(
+                    tag=job.tag,
+                    fingerprint=job.fingerprint,
+                    error=f"poison job: killed {kills[index]} workers (last: {detail})",
+                    attempts=attempts[index],
+                )
+            elif attempts[index] <= self._job_retries(job):
+                self.stats.retries += 1
+                delay = self._backoff(attempts[index])
+                heapq.heappush(retry_heap, (time.monotonic() + delay, index))
+            elif cause == "hang":
+                results[index] = JobResult(
+                    tag=job.tag,
+                    fingerprint=job.fingerprint,
+                    timed_out=True,
+                    hard_timed_out=True,
+                    attempts=attempts[index],
+                )
+            else:
+                results[index] = JobResult(
+                    tag=job.tag,
+                    fingerprint=job.fingerprint,
+                    error=detail,
+                    attempts=attempts[index],
+                )
+
+        def dispatch(worker: _Worker, index: int) -> bool:
+            job = jobs[index]
+            payload = self._payload(job, clock_shared=clock_shared)
+            if ship_faults:
+                payload["faults"] = plan.to_spec()
+                payload["faults_seed"] = plan.seed
+                payload["fault_key"] = job.fingerprint or job.tag
+                payload["attempt"] = attempts[index]
+            try:
+                worker.conn.send(payload)
+            except (OSError, ValueError):
+                # The worker died while idle — not the job's fault: replace
+                # the worker and put the job back at the head of the queue.
+                retire(worker, charge_started=None)
+                self.stats.worker_kills += 1
+                respawn()
+                queue.appendleft(index)
+                return False
+            now = time.monotonic()
+            soft = self._soft_timeout(job)
+            deadline = now + soft + self.grace if soft is not None else None
+            active[worker] = _Active(index, attempts[index], now, deadline)
+            return True
+
         try:
-            async_results = {
-                index: pool.apply_async(_execute_payload, (self._payload(jobs[index]),))
-                for index in pending
-            }
-            pool.close()
-            for index in pending:
+            while queue or retry_heap or active:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, index = heapq.heappop(retry_heap)
+                    queue.appendleft(index)
                 if self._cancelled:
-                    results[index] = JobResult(
-                        tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, cancelled=True
-                    )
+                    break
+                while idle and queue:
+                    dispatch(idle.pop(), queue.popleft())
+                if not active:
+                    if not queue and not retry_heap:
+                        break
+                    if retry_heap and not queue:
+                        # Nothing running; sleep until the next retry is due.
+                        time.sleep(max(retry_heap[0][0] - time.monotonic(), 0.0))
+                        continue
+                    if queue and not idle:
+                        break  # every worker is gone; drain serially below
                     continue
-                try:
-                    record = async_results[index].get()
-                except KeyboardInterrupt:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - per-job isolation
-                    results[index] = JobResult(
-                        tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, error=repr(exc)
-                    )
-                else:
-                    results[index] = self._complete(jobs[index], record)
-            pool.join()
+                wait_bounds = [
+                    entry.deadline for entry in active.values() if entry.deadline is not None
+                ]
+                if retry_heap:
+                    wait_bounds.append(retry_heap[0][0])
+                timeout = (
+                    max(min(wait_bounds) - time.monotonic(), 0.0) if wait_bounds else None
+                )
+                ready = multiprocessing.connection.wait(
+                    [worker.conn for worker in active], timeout=timeout
+                )
+                by_conn = {worker.conn: worker for worker in active}
+                for conn in ready:
+                    worker = by_conn[conn]
+                    entry = active.pop(worker)
+                    try:
+                        status, body = conn.recv()
+                    except (EOFError, OSError):
+                        # The worker died mid-job (crash).
+                        exitcode = worker.exitcode
+                        retire(worker, charge_started=entry.started)
+                        respawn()
+                        finish_failed(entry, "crash", f"worker crashed (exit {exitcode})")
+                        continue
+                    idle.append(worker)
+                    attempts[entry.index] += 1
+                    if status == "ok":
+                        results[entry.index] = self._complete(
+                            jobs[entry.index], body, attempts=attempts[entry.index]
+                        )
+                    else:
+                        results[entry.index] = JobResult(
+                            tag=jobs[entry.index].tag,
+                            fingerprint=jobs[entry.index].fingerprint,
+                            error=body,
+                            attempts=attempts[entry.index],
+                        )
+                # Parent-enforced hard deadlines: a worker that blew through
+                # soft + grace is killed and its job classified a hang.
+                now = time.monotonic()
+                for worker, entry in list(active.items()):
+                    if entry.deadline is not None and now >= entry.deadline:
+                        del active[worker]
+                        retire(worker, charge_started=entry.started)
+                        respawn()
+                        finish_failed(
+                            entry, "hang", "hard timeout (worker killed at soft + grace)"
+                        )
         except KeyboardInterrupt:
             self._cancelled = True
-            pool.terminate()
-            pool.join()
-            for index in pending:
-                if results[index] is None:
-                    results[index] = JobResult(
-                        tag=jobs[index].tag, fingerprint=jobs[index].fingerprint, cancelled=True
-                    )
         finally:
-            pool.terminate()
+            for worker in list(workers):
+                worker.stop()
+
+        if not self._cancelled:
+            remaining = sorted(set(queue) | {index for _, index in retry_heap})
+            remaining = [index for index in remaining if results[index] is None]
+            if remaining:
+                # The pool could not be rebuilt; degrade to the serial
+                # backend for whatever is left instead of dropping it.
+                self.stats.degraded_serial = 1
+                metrics.REGISTRY.counter("service.pool_fallbacks").inc()
+                self._run_serial(jobs, remaining, results)
 
     # ------------------------------------------------------------------
     # Statistics

@@ -25,10 +25,15 @@ Schema (``resyn-goals/1``)::
           "modes": ["resyn", "synquid"],   // named configs, see CONFIG_MODES
           "config": {"max_arg_depth": 2},  // overrides applied to every mode
           "constant_resource": false,       // resyn runs as the CT variant
-          "slow": false                     // skipped unless include_slow
+          "slow": false,                    // skipped unless include_slow
+          "retries": 1                      // optional crash-retry budget
         }
       ]
     }
+
+Retry budgets are *scheduling* policy, not part of the synthesis problem:
+like per-job timeouts they never enter the job fingerprint, so changing them
+does not invalidate cached results.
 """
 
 from __future__ import annotations
@@ -78,6 +83,9 @@ def validate_spec(spec: dict) -> None:
         seen.add(key)
         if "goal" not in entry:
             raise CodecError(f"goal {key!r} is missing its 'goal' payload")
+        retries = entry.get("retries")
+        if retries is not None and (not isinstance(retries, int) or retries < 0):
+            raise CodecError(f"goal {key!r}: 'retries' must be a non-negative integer")
 
 
 def jobs_from_spec(
@@ -85,13 +93,16 @@ def jobs_from_spec(
     modes: Optional[Sequence[str]] = None,
     include_slow: bool = False,
     timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> List[Job]:
     """Expand a spec into schedulable jobs (one per goal × mode).
 
     ``modes`` restricts every goal to the given modes; by default each goal
     runs under the modes its entry declares.  Goals marked ``slow`` are
     skipped unless ``include_slow`` (mirroring the ``REPRO_FULL`` convention
-    of the benchmark harness).
+    of the benchmark harness).  ``retries`` overrides the crash-retry budget
+    for every job; a per-entry ``"retries"`` key wins over it.  Both are
+    scheduling policy and never enter the job fingerprint.
     """
     jobs: List[Job] = []
     for entry in spec["goals"]:
@@ -100,13 +111,20 @@ def jobs_from_spec(
         goal = goal_from_json(entry["goal"])
         overrides = dict(entry.get("config") or {})
         entry_modes = list(modes) if modes is not None else list(entry.get("modes") or ["resyn"])
+        entry_retries = entry.get("retries", retries)
         for mode in entry_modes:
             effective_mode = mode
             if mode == "resyn" and entry.get("constant_resource"):
                 effective_mode = "constant_resource"
             config = config_from_mode(effective_mode, overrides)
             jobs.append(
-                job_for_goal(goal, config, tag=f"{entry['key']}/{mode}", timeout=timeout)
+                job_for_goal(
+                    goal,
+                    config,
+                    tag=f"{entry['key']}/{mode}",
+                    timeout=timeout,
+                    retries=entry_retries,
+                )
             )
     return jobs
 
