@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke chaos-smoke profile
+.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke serve-smoke chaos-smoke profile
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
@@ -54,6 +54,15 @@ service-smoke:
 	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache
 	$(PYTHON) -m repro.service run specs/table1.json -j 2 --cache /tmp/resyn-smoke-cache --expect-all-hits
 	$(PYTHON) -m repro.service stats /tmp/resyn-smoke-cache
+
+## What the CI serve-smoke job runs: boot the long-running server (resident
+## warm workers + sharded cache + HTTP front-end), submit the fast Table 1
+## spec cold then warm over real HTTP (the warm pass must be 100% cache
+## hits with nonzero warm-state reuse), then prove the REPRO_WARM=off A/B
+## byte-identity guard.  Prints a markdown report for the step summary.
+serve-smoke:
+	rm -rf /tmp/resyn-serve-cache
+	$(PYTHON) benchmarks/check_serve.py --spec specs/table1.json --cache /tmp/resyn-serve-cache
 
 ## What the CI chaos-smoke job runs: the Table 1 spec under deterministic
 ## fault injection (worker crashes + hangs, torn cache writes, read

@@ -92,11 +92,21 @@ def with_default_cost(schema: TypeSchema, cost: int = 1) -> TypeSchema:
 class Synthesizer:
     """Resource-guided program synthesis for a single goal."""
 
-    def __init__(self, goal: SynthesisGoal, config: Optional[SynthesisConfig] = None) -> None:
+    def __init__(
+        self,
+        goal: SynthesisGoal,
+        config: Optional[SynthesisConfig] = None,
+        solver: Optional[Solver] = None,
+    ) -> None:
         self.goal = goal
         self.config = config or SynthesisConfig.resyn()
         self.schema = with_default_cost(goal.schema)
-        self.solver = Solver()
+        # An injected solver is how warm workers reuse the shared atom table,
+        # Tseitin gate cache and learned theory lemmas across jobs (see
+        # repro.service.warm).  Sharing is sound because the search is
+        # verdict-driven: solver answers are semantically determined booleans,
+        # so warm caches change cost, never the synthesized program.
+        self.solver = solver if solver is not None else Solver()
         self.store = ConstraintStore()
         self.cegis = CegisSolver(self.solver, incremental=self.config.checker.incremental_cegis)
         self.checker = TypeChecker(
@@ -121,6 +131,10 @@ class Synthesizer:
         if self.config.timeout is not None:
             self._deadline = start + self.config.timeout
         counters_before = theory_counters()
+        # Scope the per-instance solver counters to this run: on a fresh
+        # solver the delta equals the totals (cold reports are unchanged);
+        # on a warm shared solver it keeps per-job stats per-job.
+        solver_before = self.solver.counters_snapshot()
         program: Optional[s.Fix] = None
         with trace.span("synth.goal", goal=self.goal.name) as root:
             try:
@@ -142,10 +156,14 @@ class Synthesizer:
             resource_rejections=self.checker.stats.resource_rejections,
             functional_rejections=self.checker.stats.functional_rejections,
             cegis_counterexamples=self.cegis.stats.counterexamples,
-            stats=self._collect_stats(counters_before),
+            stats=self._collect_stats(counters_before, solver_before),
         )
 
-    def _collect_stats(self, counters_before: Dict[str, float]) -> Dict[str, float]:
+    def _collect_stats(
+        self,
+        counters_before: Dict[str, float],
+        solver_before: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, float]:
         """Aggregate query counts and cache hit rates from every layer.
 
         The solver/encoder/CEGIS stats are per-instance and therefore per-run
@@ -158,7 +176,7 @@ class Synthesizer:
         eliminations/tightenings, unsat-core counts and average size, and the
         SAT engine's decisions/conflicts/VSIDS bumps/learned-clause churn.
         """
-        report = self.solver.cache_report()
+        report = self.solver.cache_report(since=solver_before)
         report.update(self.cegis.cache_report())
         deltas = metrics.delta(counters_before, theory_counters())
         report.update(deltas)
@@ -418,9 +436,18 @@ class Synthesizer:
 # ---------------------------------------------------------------------------
 
 
-def synthesize(goal: SynthesisGoal, config: Optional[SynthesisConfig] = None) -> SynthesisResult:
-    """Synthesize a program for ``goal`` under ``config`` (default: ReSyn)."""
-    return Synthesizer(goal, config).synthesize()
+def synthesize(
+    goal: SynthesisGoal,
+    config: Optional[SynthesisConfig] = None,
+    solver: Optional[Solver] = None,
+) -> SynthesisResult:
+    """Synthesize a program for ``goal`` under ``config`` (default: ReSyn).
+
+    ``solver`` injects a long-lived solver whose warm state (shared atom
+    table, gate cache, lemma pool) is reused across calls; omitted, every
+    call gets a fresh one.
+    """
+    return Synthesizer(goal, config, solver=solver).synthesize()
 
 
 def verify(

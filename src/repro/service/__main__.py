@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.service run specs/table1.json -j 4 --cache ~/.resyn-cache
     python -m repro.service run specs/table1.json -j 2 --modes resyn
+    python -m repro.service serve --port 8765 -j 4 --cache ~/.resyn-cache --shards 4
     python -m repro.service export --dir specs
     python -m repro.service cache ~/.resyn-cache [--clear]
     python -m repro.service stats ~/.resyn-cache [--json]
@@ -18,6 +19,13 @@ which is what the CI smoke job uses).
 runs (``telemetry.json``, written by every scheduler run that uses the
 cache): entry count, cumulative hit rate and evictions, and the last run's
 queue-wait/run-time split and per-worker utilization.
+
+``serve`` runs the long-lived synthesis server (:mod:`repro.service.serve`):
+an HTTP front-end (``POST /jobs`` streaming NDJSON progress, ``GET /stats``,
+``POST /shutdown``) — plus newline-delimited JSON over stdin with ``--stdio``
+— dispatching onto a resident worker pool whose workers keep warm solver
+state between jobs (disable with ``--cold`` or ``REPRO_WARM=off``).
+``--shards`` opens the result cache sharded by fingerprint prefix.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.service.cache import ResultCache
+from repro.service.cache import open_cache
 from repro.service.scheduler import DEFAULT_GRACE, DEFAULT_RETRIES, BatchScheduler, JobResult
 from repro.service.specs import export_table_spec, jobs_from_spec, load_spec, write_spec
 
@@ -60,9 +68,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("spec selected no jobs (all goals slow? try --include-slow)", file=sys.stderr)
         return 2
 
-    cache = ResultCache(args.cache, max_entries=args.cache_max) if args.cache else None
+    cache = (
+        open_cache(args.cache, max_entries=args.cache_max, shards=args.shards)
+        if args.cache
+        else None
+    )
     scheduler = BatchScheduler(
-        workers=args.jobs, cache=cache, retries=args.retries, grace=args.hard_timeout
+        workers=args.jobs,
+        cache=cache,
+        retries=args.retries,
+        grace=args.hard_timeout,
+        warm=args.warm,
     )
     # Ctrl-C is handled inside run(): unfinished jobs come back marked
     # cancelled and the partial results are still printed below.
@@ -159,8 +175,29 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.serve import serve_forever
+
+    cache = (
+        open_cache(args.cache, max_entries=args.cache_max, shards=args.shards)
+        if args.cache
+        else None
+    )
+    serve_forever(
+        workers=args.jobs,
+        cache=cache,
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        retries=args.retries,
+        grace=args.hard_timeout,
+        warm_workers=args.warm,
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.dir)
+    cache = open_cache(args.dir)
     if args.clear:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
@@ -177,7 +214,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.dir)
+    cache = open_cache(args.dir)
     entries = len(cache)
     quarantined = cache.quarantined_entries()
     data = cache.telemetry()
@@ -277,7 +314,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="fail unless every job was served from the cache (CI warm-cache check)",
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="open --cache sharded by fingerprint prefix (N shards)",
+    )
+    run.add_argument(
+        "--warm",
+        action="store_true",
+        help="reuse warm solver state across jobs within each worker",
+    )
     run.set_defaults(func=_cmd_run)
+
+    serve = commands.add_parser("serve", help="run the long-lived synthesis server")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765, help="HTTP port (0 = ephemeral)")
+    serve.add_argument("-j", "--jobs", type=int, default=2, help="worker processes (default 2)")
+    serve.add_argument("--cache", help="persistent result-cache directory")
+    serve.add_argument("--cache-max", type=int, default=None, help="cache entry limit (LRU)")
+    serve.add_argument(
+        "--shards", type=int, default=None, help="shard the cache by fingerprint prefix"
+    )
+    serve.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, help="crash-retry budget per job"
+    )
+    serve.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=DEFAULT_GRACE,
+        metavar="GRACE",
+        help="grace seconds past the soft timeout before a worker is killed",
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="also accept newline-delimited JSON ops on stdin",
+    )
+    serve.add_argument(
+        "--cold",
+        dest="warm",
+        action="store_false",
+        help="disable warm solver reuse across jobs (same as REPRO_WARM=off)",
+    )
+    serve.set_defaults(func=_cmd_serve, warm=True)
 
     export = commands.add_parser("export", help="export benchmark tables as spec files")
     export.add_argument("table", nargs="?", default="all", choices=["table1", "table2", "all"])

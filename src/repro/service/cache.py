@@ -53,6 +53,25 @@ from repro.service import faults
 
 CACHE_FORMAT_VERSION = 2  # v2: per-entry checksums, quarantine directory
 
+#: Default shard count for :class:`ShardedResultCache` (a small power of two:
+#: enough to spread directory traffic and let shards move to separate hosts,
+#: few enough that per-shard LRU caps stay meaningful on small caches).
+DEFAULT_SHARDS = 4
+
+
+def shard_index(fingerprint: str, shards: int) -> int:
+    """Which shard owns ``fingerprint`` — a pure function of its prefix.
+
+    Fingerprints are hex SHA-256, so the leading 32 bits are uniformly
+    distributed; taking them modulo ``shards`` balances load for any shard
+    count.  Stability matters more than the exact formula: every process (and
+    eventually every host) must route a fingerprint to the same shard with no
+    coordination, so this must never depend on runtime state.
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    return int(fingerprint[:8], 16) % shards
+
 
 @dataclass
 class CacheStats:
@@ -81,6 +100,54 @@ class CacheStats:
             "cache_io_errors": self.io_errors,
             "cache_hit_rate": round(self.hit_rate(), 4),
         }
+
+
+def _fold_run_telemetry(
+    root: str,
+    cache_stats: Dict[str, float],
+    recorded: Dict[str, float],
+    scheduler: Dict[str, object],
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Shared telemetry fold for both cache flavours (see the method docs).
+
+    ``recorded`` holds the cache traffic already folded by earlier runs of
+    this instance (cumulative counters must not double count); it is updated
+    in place.  ``extra`` keys are merged into ``last_run`` (per-shard stats).
+    """
+    path = os.path.join(root, "telemetry.json")
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        data = {}
+    data["runs"] = int(data.get("runs", 0)) + 1
+    totals = data.setdefault("totals", {})
+    traffic = {
+        key: value - recorded.get(key, 0)
+        for key, value in cache_stats.items()
+        if key != "cache_hit_rate"
+    }
+    recorded.clear()
+    recorded.update(
+        {key: value for key, value in cache_stats.items() if key != "cache_hit_rate"}
+    )
+    sched = dict(scheduler)
+    sched.pop("cache_hits", None)  # already counted by the cache's own traffic
+    for source in (traffic, sched):
+        for key, value in source.items():
+            if key == "workers" or not isinstance(value, (int, float)):
+                continue
+            totals[key] = round(totals.get(key, 0) + value, 4)
+    looked_up = totals.get("cache_hits", 0) + totals.get("cache_misses", 0)
+    totals["cache_hit_rate"] = (
+        round(totals.get("cache_hits", 0) / looked_up, 4) if looked_up else 0.0
+    )
+    data["last_run"] = {"scheduler": dict(scheduler), "cache": dict(cache_stats)}
+    if extra:
+        data["last_run"].update(extra)
+    ResultCache._atomic_write(path, data)
+    return path
 
 
 def record_checksum(entry: Dict[str, object]) -> str:
@@ -302,38 +369,7 @@ class ResultCache:
         atomically, so concurrent schedulers can race without tearing the
         file (a lost update only undercounts totals).
         """
-        path = os.path.join(self.root, "telemetry.json")
-        try:
-            with open(path) as handle:
-                data = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
-            data = {}
-        data["runs"] = int(data.get("runs", 0)) + 1
-        totals = data.setdefault("totals", {})
-        # self.stats is cumulative for this instance; fold only the traffic
-        # since the previous recording so repeated runs don't double count.
-        traffic = {
-            key: value - self._recorded.get(key, 0)
-            for key, value in self.stats.as_dict().items()
-            if key != "cache_hit_rate"
-        }
-        self._recorded = {
-            key: value for key, value in self.stats.as_dict().items() if key != "cache_hit_rate"
-        }
-        sched = dict(scheduler)
-        sched.pop("cache_hits", None)  # already counted by the cache's own traffic
-        for source in (traffic, sched):
-            for key, value in source.items():
-                if key == "workers" or not isinstance(value, (int, float)):
-                    continue
-                totals[key] = round(totals.get(key, 0) + value, 4)
-        looked_up = totals.get("cache_hits", 0) + totals.get("cache_misses", 0)
-        totals["cache_hit_rate"] = (
-            round(totals.get("cache_hits", 0) / looked_up, 4) if looked_up else 0.0
-        )
-        data["last_run"] = {"scheduler": dict(scheduler), "cache": self.stats.as_dict()}
-        self._atomic_write(path, data)
-        return path
+        return _fold_run_telemetry(self.root, self.stats.as_dict(), self._recorded, scheduler)
 
     def telemetry(self) -> Optional[dict]:
         """The accumulated telemetry blob, or ``None`` if no run recorded one."""
@@ -411,3 +447,208 @@ class ResultCache:
                 continue
         self._count = 0
         return removed
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Uniform stats payload (the server's ``/stats`` cache block)."""
+        return {
+            "root": self.root,
+            "entries": len(self),
+            "shards": None,
+            "quarantined_entries": len(self.quarantined_entries()),
+            **self.stats.as_dict(),
+        }
+
+
+class ShardedResultCache:
+    """A :class:`ResultCache` sharded by fingerprint prefix.
+
+    Layout: ``<root>/shards/<k>/`` holds one full :class:`ResultCache` per
+    shard (own ``objects/``, ``quarantine/``, LRU cap); ``<root>/meta.json``
+    persists the shard count so every later open routes identically.  The
+    shard for a fingerprint is :func:`shard_index` — a pure function of the
+    fingerprint prefix, which is what lets the shards eventually live on
+    separate hosts with no routing table.
+
+    A root that already holds an *unsharded* v2 cache (``<root>/objects/``)
+    stays readable: lookups fall through to the legacy store and promote hits
+    into the owning shard (removing the legacy copy), so a cache directory
+    can be upgraded in place with zero recomputation.
+
+    LRU caps and quarantine are per-shard — ``max_entries`` is split evenly,
+    and each shard evicts and quarantines independently, so one hot (or
+    corrupt) prefix range cannot evict the whole keyspace.
+    """
+
+    def __init__(
+        self, root: str, shards: Optional[int] = None, max_entries: Optional[int] = None
+    ) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        meta_path = os.path.join(self.root, "meta.json")
+        persisted: Optional[int] = None
+        try:
+            with open(meta_path) as handle:
+                persisted = json.load(handle).get("shards")
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            persisted = None
+        if persisted:
+            if shards is not None and shards != persisted:
+                raise ValueError(
+                    f"cache at {self.root} is sharded {persisted} ways; "
+                    f"reopening with shards={shards} would misroute fingerprints"
+                )
+            shards = int(persisted)
+        if shards is None:
+            shards = DEFAULT_SHARDS
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        self.shards = shards
+        self.max_entries = max_entries
+        per_shard = None if max_entries is None else max(max_entries // shards, 1)
+        self._shards = [
+            ResultCache(os.path.join(self.root, "shards", f"{index:02d}"), per_shard)
+            for index in range(shards)
+        ]
+        # Read-through to a pre-sharding unsharded cache at the same root.
+        self._legacy: Optional[ResultCache] = None
+        if os.path.isdir(os.path.join(self.root, "objects")):
+            self._legacy = ResultCache(self.root)
+        self._recorded: Dict[str, float] = {}
+        ResultCache._atomic_write(
+            meta_path, {"format": CACHE_FORMAT_VERSION, "shards": self.shards}
+        )
+
+    def shard_for(self, fingerprint: str) -> int:
+        return shard_index(fingerprint, self.shards)
+
+    def _shard(self, fingerprint: str) -> ResultCache:
+        return self._shards[self.shard_for(fingerprint)]
+
+    def _caches(self) -> List[ResultCache]:
+        return self._shards + ([self._legacy] if self._legacy is not None else [])
+
+    @property
+    def stats(self) -> CacheStats:
+        """Traffic merged across shards (and the legacy store, if any)."""
+        merged = CacheStats()
+        for sub in self._caches():
+            merged.hits += sub.stats.hits
+            merged.misses += sub.stats.misses
+            merged.stores += sub.stats.stores
+            merged.evictions += sub.stats.evictions
+            merged.quarantined += sub.stats.quarantined
+            merged.io_errors += sub.stats.io_errors
+        # A legacy promotion is one logical lookup: drop the shard-side miss
+        # that preceded the legacy hit so the merged hit rate stays honest.
+        if self._legacy is not None:
+            merged.misses -= min(self._legacy.stats.hits, merged.misses)
+        return merged
+
+    def lookup(self, fingerprint: str) -> Optional[dict]:
+        entry = self._shard(fingerprint).lookup(fingerprint)
+        if entry is not None:
+            return entry
+        if self._legacy is not None:
+            entry = self._legacy.lookup(fingerprint)
+            if entry is not None:
+                # Promote into the owning shard and retire the legacy copy so
+                # the migration converges to a purely sharded layout.
+                self._shard(fingerprint).store(fingerprint, entry)
+                try:
+                    os.unlink(self._legacy._entry_path(fingerprint))
+                except OSError:
+                    pass
+                return entry
+        return None
+
+    def store(self, fingerprint: str, record: dict) -> None:
+        self._shard(fingerprint).store(fingerprint, record)
+
+    def update(self, fingerprint: str, **fields: object) -> bool:
+        if self._shard(fingerprint).update(fingerprint, **fields):
+            return True
+        return self._legacy.update(fingerprint, **fields) if self._legacy else False
+
+    def quarantined_entries(self) -> List[str]:
+        names: List[str] = []
+        for sub in self._caches():
+            names.extend(sub.quarantined_entries())
+        return sorted(names)
+
+    def record_run_telemetry(self, scheduler: Dict[str, object]) -> str:
+        return _fold_run_telemetry(
+            self.root,
+            self.stats.as_dict(),
+            self._recorded,
+            scheduler,
+            extra={"shards": self.shards},
+        )
+
+    def telemetry(self) -> Optional[dict]:
+        try:
+            with open(os.path.join(self.root, "telemetry.json")) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def __len__(self) -> int:
+        return sum(len(sub) for sub in self._caches())
+
+    def fingerprints(self) -> Iterator[str]:
+        for sub in self._caches():
+            yield from sub.fingerprints()
+
+    def clear(self) -> int:
+        return sum(sub.clear() for sub in self._caches())
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Per-shard telemetry plus merged totals (the ``/stats`` payload)."""
+        per_shard = []
+        for index, sub in enumerate(self._shards):
+            per_shard.append(
+                {
+                    "shard": index,
+                    "entries": len(sub),
+                    "quarantined_entries": len(sub.quarantined_entries()),
+                    **sub.stats.as_dict(),
+                }
+            )
+        if self._legacy is not None:
+            per_shard.append(
+                {
+                    "shard": "legacy",
+                    "entries": len(self._legacy),
+                    "quarantined_entries": len(self._legacy.quarantined_entries()),
+                    **self._legacy.stats.as_dict(),
+                }
+            )
+        return {
+            "root": self.root,
+            "entries": len(self),
+            "shards": self.shards,
+            "quarantined_entries": len(self.quarantined_entries()),
+            **self.stats.as_dict(),
+            "per_shard": per_shard,
+        }
+
+
+def open_cache(
+    root: str, max_entries: Optional[int] = None, shards: Optional[int] = None
+):
+    """Open the right cache flavour for ``root``.
+
+    A root whose ``meta.json`` records a shard count always opens sharded
+    (with the persisted count); otherwise ``shards`` > 1 opens (and persists)
+    a new sharded layout, and anything else opens the plain cache.
+    """
+    meta_path = os.path.join(root, "meta.json")
+    try:
+        with open(meta_path) as handle:
+            persisted = json.load(handle).get("shards")
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        persisted = None
+    if persisted:
+        return ShardedResultCache(root, shards=shards, max_entries=max_entries)
+    if shards is not None and shards > 1:
+        return ShardedResultCache(root, shards=shards, max_entries=max_entries)
+    return ResultCache(root, max_entries=max_entries)

@@ -513,3 +513,23 @@ def config_from_mode(mode: str, overrides: Optional[Dict[str, Any]] = None) -> S
     except KeyError:
         raise CodecError(f"unknown configuration mode {mode!r}") from None
     return factory(**(overrides or {}))
+
+
+def config_from_wire(data: Optional[dict]) -> SynthesisConfig:
+    """Decode a configuration from a server request.
+
+    Accepts the two shapes clients actually send: a full configuration
+    encoding (:func:`config_from_json`) or the compact
+    ``{"mode": "resyn", "overrides": {...}}`` form used by declarative specs.
+    ``None``/``{}`` means the resyn defaults.
+    """
+    if not data:
+        return SynthesisConfig.resyn()
+    if not isinstance(data, dict):
+        raise CodecError("config must be a JSON object")
+    if "mode" in data:
+        unknown = set(data) - {"mode", "overrides"}
+        if unknown:
+            raise CodecError(f"unknown mode-config fields: {sorted(unknown)}")
+        return config_from_mode(data["mode"], data.get("overrides"))
+    return config_from_json(data)

@@ -61,7 +61,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import SynthesisConfig
 from repro.core.goals import SynthesisGoal, SynthesisResult
 from repro.obs import metrics
-from repro.service import faults
+from repro.service import faults, warm
 from repro.service.cache import ResultCache
 from repro.service.codec import config_from_json, config_to_json, goal_from_json, goal_to_json
 from repro.service.fingerprint import job_fingerprint
@@ -86,6 +86,36 @@ _HANG_NAP = 3600.0
 #: across workers (rates and averages are recomputed, never summed).
 def _summable(key: str, value: object) -> bool:
     return isinstance(value, (int, float)) and not key.endswith(("_rate", "_avg_core_size"))
+
+
+def ship_faults(plan: faults.FaultPlan) -> bool:
+    """Whether payloads need the fault plan shipped to the child at all."""
+    return plan.active and (
+        plan.rate(faults.WORKER_CRASH) > 0 or plan.rate(faults.WORKER_HANG) > 0
+    )
+
+
+def fault_fields(plan: faults.FaultPlan, key: str, attempt: int) -> dict:
+    """Payload fields a worker needs to decide its own injected faults."""
+    return {
+        "faults": plan.to_spec(),
+        "faults_seed": plan.seed,
+        "fault_key": key,
+        "attempt": attempt,
+    }
+
+
+def classify_failure(kills: int, attempts: int, retry_budget: int) -> str:
+    """Shared worker-loss verdict: ``poison`` | ``retry`` | ``final``.
+
+    Used by both the batch scheduler and the long-running server so a job
+    that keeps killing workers is handled identically in either mode.
+    """
+    if kills >= POISON_KILLS:
+        return "poison"
+    if attempts <= retry_budget:
+        return "retry"
+    return "final"
 
 
 @dataclass(frozen=True)
@@ -153,6 +183,9 @@ class JobResult:
     run_seconds: float = 0.0
     #: PID of the worker process that executed the job (0 = not executed).
     worker_pid: int = 0
+    #: Warm-solver counter block from the executing worker (None when the job
+    #: ran cold).  Stripped from the record before caching, like the timings.
+    warm: Optional[Dict[str, object]] = None
 
     @property
     def succeeded(self) -> bool:
@@ -243,6 +276,10 @@ class SchedulerStats:
     worker_utilization: Dict[str, float] = field(default_factory=dict)
     #: Solver/search counters summed across all completed jobs.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Warm-solver reuse across jobs (empty when the run executed cold).
+    #: ``reused_jobs`` counts jobs that started with nonempty warm caches —
+    #: the proof that worker state survived between jobs.
+    warm_state: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -267,6 +304,7 @@ class SchedulerStats:
             "run_seconds": round(self.run_seconds, 4),
             "worker_utilization": dict(self.worker_utilization),
             "counters": dict(self.counters),
+            "warm_state": dict(self.warm_state),
         }
 
 
@@ -285,8 +323,21 @@ def _execute_payload(payload: dict) -> dict:
     job_timeout = payload.get("timeout")
     if job_timeout is not None and (config.timeout is None or job_timeout < config.timeout):
         config.timeout = job_timeout
-    result = synthesize(goal, config)
+    # Warm execution: reuse this process's resident solver (gate cache, atom
+    # table, lemma pool, validity/model LRUs) across jobs.  Requested by the
+    # scheduler per payload, vetoed by REPRO_WARM=off in the *worker's*
+    # environment — sound either way because the search is verdict-driven,
+    # so warm caches change cost, never the synthesized program.
+    warm_ctx = None
+    if warm.enabled(payload.get("warm")):
+        warm_state = warm.state()
+        solver, warm_ctx = warm_state.begin_job()
+        result = synthesize(goal, config, solver=solver)
+    else:
+        result = synthesize(goal, config)
     record = result.to_record()
+    if warm_ctx is not None:
+        record["warm"] = warm_state.finish_job(warm_ctx)
     record["worker_pid"] = os.getpid()
     # Queue wait = submission to execution start.  The parent only includes
     # the "submitted" stamp when both stamps live in one monotonic clock
@@ -389,12 +440,211 @@ class _Worker:
 class _Active:
     """Bookkeeping for a job currently executing on a worker."""
 
-    index: int
-    attempt: int
+    #: Caller-supplied dispatch token (the batch scheduler uses job indices,
+    #: the server uses request-scoped job handles).
+    token: object
     started: float
     #: Parent-enforced kill time (monotonic), None when the job has no soft
     #: timeout to anchor it.
     deadline: Optional[float]
+
+
+@dataclass
+class PoolEvent:
+    """One worker-pool outcome delivered by :meth:`WorkerPool.poll`."""
+
+    #: ``ok`` (record in ``body``) | ``error`` (message) | ``crash`` | ``hang``.
+    kind: str
+    token: object
+    body: object
+    worker_pid: int = 0
+
+
+class WorkerPool:
+    """A supervised pool of long-lived synthesis workers.
+
+    Extracted from :meth:`BatchScheduler._run_pool` so a long-running server
+    (:mod:`repro.service.serve`) can keep the *same* pool resident across
+    requests — preserving each worker's warm solver state — while the batch
+    scheduler keeps creating one per run.  The pool owns process lifecycle
+    only: spawn (the ``pool.spawn`` fault point), dispatch, crash detection,
+    parent-enforced hard deadlines, kill + respawn.  Retry budgets, poison
+    verdicts and result bookkeeping stay with the caller, which is what makes
+    the failure semantics identical in batch and server mode
+    (:func:`classify_failure`).
+    """
+
+    def __init__(self, size: int, ctx=None, grace: float = DEFAULT_GRACE) -> None:
+        if size < 1:
+            raise ValueError("pool size must be positive")
+        if ctx is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            ctx = multiprocessing.get_context(method)
+        self.size = size
+        self.grace = grace
+        self._ctx = ctx
+        self._workers: List[_Worker] = []
+        self._idle: List[_Worker] = []
+        self._active: Dict[_Worker, _Active] = {}
+        self._spawn_seq = 0
+        #: Workers lost (crashed on their own or parent-killed), cumulative.
+        self.kills = 0
+        #: Replacement workers spawned after a loss, cumulative.
+        self.rebuilds = 0
+        #: Partial busy seconds charged to workers retired mid-job, by PID.
+        self.busy_charges: Dict[int, float] = {}
+
+    @property
+    def clock_shared(self) -> bool:
+        """Whether parent and workers share one monotonic clock domain."""
+        return self._ctx.get_start_method() == "fork"
+
+    @property
+    def live_count(self) -> int:
+        return len(self._workers)
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def worker_pids(self) -> List[int]:
+        return sorted(worker.pid for worker in self._workers)
+
+    def _try_spawn(self) -> Optional[_Worker]:
+        """One spawn attempt (the ``pool.spawn`` fault point); None on failure."""
+        seq = self._spawn_seq
+        self._spawn_seq += 1
+        if faults.plan().fires(faults.POOL_SPAWN, "spawn", seq):
+            return None
+        try:
+            return _Worker(self._ctx)
+        except OSError:
+            return None
+
+    def start(self, want: Optional[int] = None) -> int:
+        """Spawn up to ``size`` (or ``want``) workers; returns the live count."""
+        target = self.size if want is None else min(self.size, want)
+        for _ in range(max(target - len(self._workers), 0)):
+            worker = self._try_spawn()
+            if worker is not None:
+                self._workers.append(worker)
+                self._idle.append(worker)
+        return len(self._workers)
+
+    def _retire(self, worker: _Worker, charge_started: Optional[float]) -> None:
+        """Remove a lost worker, charging its partial busy time."""
+        if charge_started is not None:
+            self.busy_charges[worker.pid] = self.busy_charges.get(worker.pid, 0.0) + max(
+                time.monotonic() - charge_started, 0.0
+            )
+        if worker in self._workers:
+            self._workers.remove(worker)
+        worker.kill()
+        self.kills += 1
+
+    def _respawn(self) -> None:
+        worker = self._try_spawn()
+        if worker is None:
+            return
+        self._workers.append(worker)
+        self._idle.append(worker)
+        self.rebuilds += 1
+
+    def dispatch(self, token: object, payload: dict, soft_timeout: Optional[float]) -> bool:
+        """Send ``payload`` to an idle worker.
+
+        Returns ``False`` when the chosen idle worker turned out to be dead
+        (it is retired and a replacement spawned); the caller should requeue
+        the token.  Raises :class:`IndexError` if no worker is idle.
+        """
+        worker = self._idle.pop()
+        try:
+            worker.conn.send(payload)
+        except (OSError, ValueError):
+            self._retire(worker, charge_started=None)
+            self._respawn()
+            return False
+        now = time.monotonic()
+        deadline = now + soft_timeout + self.grace if soft_timeout is not None else None
+        self._active[worker] = _Active(token, now, deadline)
+        return True
+
+    def active_tokens(self) -> List[object]:
+        """Tokens of jobs currently executing (for shutdown accounting)."""
+        return [entry.token for entry in self._active.values()]
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest parent-enforced kill time among active jobs (monotonic)."""
+        deadlines = [e.deadline for e in self._active.values() if e.deadline is not None]
+        return min(deadlines) if deadlines else None
+
+    def poll(self, timeout: Optional[float], extra=()) -> Tuple[List[PoolEvent], List[object]]:
+        """Wait for worker traffic, collect outcomes, enforce hard deadlines.
+
+        ``extra`` file-like objects (e.g. a server's wake pipe) join the
+        ``connection.wait`` call; the readable ones come back as the second
+        element so a caller can multiplex its own wakeups with pool events.
+        """
+        conns = [worker.conn for worker in self._active]
+        waitables = conns + list(extra)
+        ready = (
+            multiprocessing.connection.wait(waitables, timeout=timeout) if waitables else []
+        )
+        by_conn = {worker.conn: worker for worker in self._active}
+        events: List[PoolEvent] = []
+        ready_extra: List[object] = []
+        for conn in ready:
+            worker = by_conn.get(conn)
+            if worker is None:
+                ready_extra.append(conn)
+                continue
+            entry = self._active.pop(worker)
+            try:
+                status, body = conn.recv()
+            except (EOFError, OSError):
+                # The worker died mid-job (crash).
+                exitcode = worker.exitcode
+                pid = worker.pid
+                self._retire(worker, charge_started=entry.started)
+                self._respawn()
+                events.append(
+                    PoolEvent("crash", entry.token, f"worker crashed (exit {exitcode})", pid)
+                )
+                continue
+            self._idle.append(worker)
+            events.append(
+                PoolEvent("ok" if status == "ok" else "error", entry.token, body, worker.pid)
+            )
+        # Parent-enforced hard deadlines: a worker that blew through
+        # soft + grace is killed and its job classified a hang.
+        now = time.monotonic()
+        for worker, entry in list(self._active.items()):
+            if entry.deadline is not None and now >= entry.deadline:
+                del self._active[worker]
+                pid = worker.pid
+                self._retire(worker, charge_started=entry.started)
+                self._respawn()
+                events.append(
+                    PoolEvent(
+                        "hang",
+                        entry.token,
+                        "hard timeout (worker killed at soft + grace)",
+                        pid,
+                    )
+                )
+        return events, ready_extra
+
+    def stop(self) -> None:
+        """Orderly shutdown of every worker (escalates to kill per worker)."""
+        for worker in list(self._workers):
+            worker.stop()
+        self._workers.clear()
+        self._idle.clear()
+        self._active.clear()
 
 
 class BatchScheduler:
@@ -409,6 +659,7 @@ class BatchScheduler:
         grace: float = DEFAULT_GRACE,
         backoff_base: float = BACKOFF_BASE,
         backoff_cap: float = BACKOFF_CAP,
+        warm: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -422,6 +673,10 @@ class BatchScheduler:
         self.grace = grace
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: Ask workers to reuse a resident solver across jobs (REPRO_WARM=off
+        #: in the worker environment vetoes it).  Off by default so batch runs
+        #: keep their historical cold-start counters byte-identical.
+        self.warm = warm
         if start_method is None:
             # fork is dramatically cheaper (no re-import per worker) and the
             # synthesis pipeline is single-threaded, so it is safe here.
@@ -430,7 +685,6 @@ class BatchScheduler:
         self.stats = SchedulerStats()
         self._cancelled = False
         self._busy: Dict[int, float] = {}
-        self._spawn_seq = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -445,7 +699,6 @@ class BatchScheduler:
         self._cancelled = False
         self.stats = SchedulerStats(jobs=len(jobs), workers=max(1, self.workers))
         self._busy: Dict[int, float] = {}
-        self._spawn_seq = 0
         results: List[Optional[JobResult]] = [None] * len(jobs)
 
         pending: List[int] = []
@@ -559,13 +812,14 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     # Execution backends
     # ------------------------------------------------------------------
-    @staticmethod
-    def _payload(job: Job, clock_shared: bool = True) -> dict:
+    def _payload(self, job: Job, clock_shared: bool = True) -> dict:
         payload = {
             "goal": job.goal_json,
             "config": job.config_json,
             "timeout": job.timeout,
         }
+        if self.warm:
+            payload["warm"] = True
         # The submission stamp is only cross-comparable when both ends share
         # one monotonic clock domain (in-process, or fork on Linux); under
         # spawn it is omitted so queue wait reports 0.0, not garbage.
@@ -584,16 +838,25 @@ class BatchScheduler:
     def _job_retries(self, job: Job) -> int:
         return job.retries if job.retries is not None else self.retries
 
+    def _fold_pool(self, pool: WorkerPool) -> None:
+        """Fold one run's pool lifecycle counters into the scheduler stats."""
+        self.stats.worker_kills += pool.kills
+        self.stats.pool_rebuilds += pool.rebuilds
+        for pid, seconds in pool.busy_charges.items():
+            self._busy[pid] = self._busy.get(pid, 0.0) + seconds
+
     def _backoff(self, attempt: int) -> float:
         """Deterministic capped exponential backoff before retry ``attempt``."""
         return min(self.backoff_base * (2 ** max(attempt - 1, 0)), self.backoff_cap)
 
     def _complete(self, job: Job, record: dict, attempts: int = 1) -> JobResult:
-        # Scheduling timings are properties of *this run*, not of the
-        # fingerprinted job — strip them before the record reaches the cache
-        # so entries stay byte-identical across runs.
+        # Scheduling timings and the warm counter block are properties of
+        # *this run*, not of the fingerprinted job — strip them before the
+        # record reaches the cache so entries stay byte-identical across runs
+        # (and across warm/cold executions).
         queue_seconds = float(record.pop("queue_seconds", 0.0))
         run_seconds = float(record.pop("run_seconds", 0.0))
+        warm_block = record.pop("warm", None)
         result = JobResult(
             tag=job.tag,
             fingerprint=job.fingerprint,
@@ -603,6 +866,7 @@ class BatchScheduler:
             queue_seconds=queue_seconds,
             run_seconds=run_seconds,
             worker_pid=int(record.get("worker_pid", 0)),
+            warm=warm_block,
         )
         # Timed-out results are clock- and machine-dependent, not properties
         # of the fingerprinted payload — persisting them would make a later
@@ -640,72 +904,39 @@ class BatchScheduler:
                 results[index] = self._complete(jobs[index], record)
 
     # -- supervised pool ---------------------------------------------------
-    def _spawn_worker(self, plan: faults.FaultPlan) -> _Worker:
-        """Spawn one pool worker (the ``pool.spawn`` fault point)."""
-        seq = self._spawn_seq
-        self._spawn_seq += 1
-        if plan.fires(faults.POOL_SPAWN, "spawn", seq):
-            raise OSError("injected fault: pool.spawn")
-        return _Worker(self._ctx)
-
     def _run_pool(
         self, jobs: Sequence[Job], pending: List[int], results: List[Optional[JobResult]]
     ) -> None:
         plan = faults.plan()
-        clock_shared = self._ctx.get_start_method() == "fork"
-        ship_faults = plan.active and (
-            plan.rate(faults.WORKER_CRASH) > 0 or plan.rate(faults.WORKER_HANG) > 0
-        )
+        ship = ship_faults(plan)
 
-        workers: List[_Worker] = []
-        for _ in range(min(self.workers, len(pending))):
-            try:
-                workers.append(self._spawn_worker(plan))
-            except OSError:
-                continue
-        if not workers:
+        pool = WorkerPool(
+            size=min(self.workers, len(pending)), ctx=self._ctx, grace=self.grace
+        )
+        if pool.start() == 0:
             # Pool creation failed outright: degrade to the serial backend.
+            self._fold_pool(pool)
+            pool.stop()
             self.stats.degraded_serial = 1
             metrics.REGISTRY.counter("service.pool_fallbacks").inc()
             self._run_serial(jobs, pending, results)
             return
+        clock_shared = pool.clock_shared
 
         queue: Deque[int] = deque(pending)
         retry_heap: List[Tuple[float, int]] = []
         attempts: Dict[int, int] = {index: 0 for index in pending}
         kills: Dict[int, int] = {}
-        active: Dict[_Worker, _Active] = {}
-        idle: List[_Worker] = list(workers)
 
-        def respawn() -> None:
-            try:
-                fresh = self._spawn_worker(plan)
-            except OSError:
-                return
-            workers.append(fresh)
-            idle.append(fresh)
-            self.stats.pool_rebuilds += 1
-
-        def retire(worker: _Worker, charge_started: Optional[float]) -> None:
-            """Remove a lost worker, charging its partial busy time."""
-            if charge_started is not None:
-                self._busy[worker.pid] = self._busy.get(worker.pid, 0.0) + max(
-                    time.monotonic() - charge_started, 0.0
-                )
-            if worker in workers:
-                workers.remove(worker)
-            worker.kill()
-
-        def finish_failed(entry: _Active, cause: str, detail: str) -> None:
+        def finish_failed(index: int, cause: str, detail: str) -> None:
             """A worker died under this job: poison, retry, or final failure."""
-            index = entry.index
             job = jobs[index]
-            self.stats.worker_kills += 1
             kills[index] = kills.get(index, 0) + 1
             attempts[index] += 1
             if cause == "hang":
                 self.stats.hard_timeouts += 1
-            if kills[index] >= POISON_KILLS:
+            verdict = classify_failure(kills[index], attempts[index], self._job_retries(job))
+            if verdict == "poison":
                 self.stats.poisoned += 1
                 results[index] = JobResult(
                     tag=job.tag,
@@ -713,7 +944,7 @@ class BatchScheduler:
                     error=f"poison job: killed {kills[index]} workers (last: {detail})",
                     attempts=attempts[index],
                 )
-            elif attempts[index] <= self._job_retries(job):
+            elif verdict == "retry":
                 self.stats.retries += 1
                 delay = self._backoff(attempts[index])
                 heapq.heappush(retry_heap, (time.monotonic() + delay, index))
@@ -733,103 +964,71 @@ class BatchScheduler:
                     attempts=attempts[index],
                 )
 
-        def dispatch(worker: _Worker, index: int) -> bool:
-            job = jobs[index]
-            payload = self._payload(job, clock_shared=clock_shared)
-            if ship_faults:
-                payload["faults"] = plan.to_spec()
-                payload["faults_seed"] = plan.seed
-                payload["fault_key"] = job.fingerprint or job.tag
-                payload["attempt"] = attempts[index]
-            try:
-                worker.conn.send(payload)
-            except (OSError, ValueError):
-                # The worker died while idle — not the job's fault: replace
-                # the worker and put the job back at the head of the queue.
-                retire(worker, charge_started=None)
-                self.stats.worker_kills += 1
-                respawn()
-                queue.appendleft(index)
-                return False
-            now = time.monotonic()
-            soft = self._soft_timeout(job)
-            deadline = now + soft + self.grace if soft is not None else None
-            active[worker] = _Active(index, attempts[index], now, deadline)
-            return True
+        def dispatch_ready() -> None:
+            while pool.idle_count and queue:
+                index = queue.popleft()
+                job = jobs[index]
+                payload = self._payload(job, clock_shared=clock_shared)
+                if ship:
+                    payload.update(
+                        fault_fields(plan, job.fingerprint or job.tag, attempts[index])
+                    )
+                if not pool.dispatch(index, payload, self._soft_timeout(job)):
+                    # The worker died while idle — not the job's fault: the
+                    # pool replaced it; put the job back at the head.
+                    queue.appendleft(index)
 
         try:
-            while queue or retry_heap or active:
+            while queue or retry_heap or pool.active_count:
                 now = time.monotonic()
                 while retry_heap and retry_heap[0][0] <= now:
                     _, index = heapq.heappop(retry_heap)
                     queue.appendleft(index)
                 if self._cancelled:
                     break
-                while idle and queue:
-                    dispatch(idle.pop(), queue.popleft())
-                if not active:
+                dispatch_ready()
+                if not pool.active_count:
                     if not queue and not retry_heap:
                         break
                     if retry_heap and not queue:
                         # Nothing running; sleep until the next retry is due.
                         time.sleep(max(retry_heap[0][0] - time.monotonic(), 0.0))
                         continue
-                    if queue and not idle:
+                    if queue and not pool.idle_count:
                         break  # every worker is gone; drain serially below
                     continue
-                wait_bounds = [
-                    entry.deadline for entry in active.values() if entry.deadline is not None
-                ]
+                wait_bounds = []
+                deadline = pool.next_deadline()
+                if deadline is not None:
+                    wait_bounds.append(deadline)
                 if retry_heap:
                     wait_bounds.append(retry_heap[0][0])
                 timeout = (
                     max(min(wait_bounds) - time.monotonic(), 0.0) if wait_bounds else None
                 )
-                ready = multiprocessing.connection.wait(
-                    [worker.conn for worker in active], timeout=timeout
-                )
-                by_conn = {worker.conn: worker for worker in active}
-                for conn in ready:
-                    worker = by_conn[conn]
-                    entry = active.pop(worker)
-                    try:
-                        status, body = conn.recv()
-                    except (EOFError, OSError):
-                        # The worker died mid-job (crash).
-                        exitcode = worker.exitcode
-                        retire(worker, charge_started=entry.started)
-                        respawn()
-                        finish_failed(entry, "crash", f"worker crashed (exit {exitcode})")
+                events, _ = pool.poll(timeout)
+                for event in events:
+                    index = event.token
+                    if event.kind in ("crash", "hang"):
+                        finish_failed(index, event.kind, event.body)
                         continue
-                    idle.append(worker)
-                    attempts[entry.index] += 1
-                    if status == "ok":
-                        results[entry.index] = self._complete(
-                            jobs[entry.index], body, attempts=attempts[entry.index]
+                    attempts[index] += 1
+                    if event.kind == "ok":
+                        results[index] = self._complete(
+                            jobs[index], event.body, attempts=attempts[index]
                         )
                     else:
-                        results[entry.index] = JobResult(
-                            tag=jobs[entry.index].tag,
-                            fingerprint=jobs[entry.index].fingerprint,
-                            error=body,
-                            attempts=attempts[entry.index],
-                        )
-                # Parent-enforced hard deadlines: a worker that blew through
-                # soft + grace is killed and its job classified a hang.
-                now = time.monotonic()
-                for worker, entry in list(active.items()):
-                    if entry.deadline is not None and now >= entry.deadline:
-                        del active[worker]
-                        retire(worker, charge_started=entry.started)
-                        respawn()
-                        finish_failed(
-                            entry, "hang", "hard timeout (worker killed at soft + grace)"
+                        results[index] = JobResult(
+                            tag=jobs[index].tag,
+                            fingerprint=jobs[index].fingerprint,
+                            error=event.body,
+                            attempts=attempts[index],
                         )
         except KeyboardInterrupt:
             self._cancelled = True
         finally:
-            for worker in list(workers):
-                worker.stop()
+            self._fold_pool(pool)
+            pool.stop()
 
         if not self._cancelled:
             remaining = sorted(set(queue) | {index for _, index in retry_heap})
@@ -845,30 +1044,38 @@ class BatchScheduler:
     # Statistics
     # ------------------------------------------------------------------
     def _tally(self, result: JobResult) -> None:
-        stats = self.stats
-        if result.timed_out:
-            stats.timeouts += 1
-        if result.cancelled:
-            stats.cancelled += 1
-        if result.error is not None:
-            stats.errors += 1
-        # Counters and cpu_seconds measure work *performed this run*; cache
-        # hits and dedup copies only contribute to saved_seconds.
-        if result.record is None or result.deduplicated or result.cache_hit:
-            if result.record is not None and (result.deduplicated or result.cache_hit):
-                stats.saved_seconds += result.seconds
-            return
-        stats.cpu_seconds += result.seconds
-        stats.queue_seconds += result.queue_seconds
-        stats.run_seconds += result.run_seconds
-        if result.worker_pid:
-            self._busy[result.worker_pid] = (
-                self._busy.get(result.worker_pid, 0.0) + result.run_seconds
-            )
-        for key, value in result.stats.items():
-            if _summable(key, value):
-                stats.counters[key] = stats.counters.get(key, 0) + value
-        for key in ("candidates_checked", "cegis_counterexamples"):
-            value = result.record.get(key)
-            if isinstance(value, (int, float)):
-                stats.counters[key] = stats.counters.get(key, 0) + value
+        tally_result(self.stats, result, self._busy)
+
+
+def tally_result(
+    stats: SchedulerStats, result: JobResult, busy: Optional[Dict[int, float]] = None
+) -> None:
+    """Fold one job outcome into ``stats`` (shared with the server).
+
+    Counters and cpu_seconds measure work *performed*; cache hits and dedup
+    copies only contribute to saved_seconds.
+    """
+    if result.timed_out:
+        stats.timeouts += 1
+    if result.cancelled:
+        stats.cancelled += 1
+    if result.error is not None:
+        stats.errors += 1
+    if result.record is None or result.deduplicated or result.cache_hit:
+        if result.record is not None and (result.deduplicated or result.cache_hit):
+            stats.saved_seconds += result.seconds
+        return
+    stats.cpu_seconds += result.seconds
+    stats.queue_seconds += result.queue_seconds
+    stats.run_seconds += result.run_seconds
+    if result.warm:
+        warm.aggregate(stats.warm_state, result.warm)
+    if busy is not None and result.worker_pid:
+        busy[result.worker_pid] = busy.get(result.worker_pid, 0.0) + result.run_seconds
+    for key, value in result.stats.items():
+        if _summable(key, value):
+            stats.counters[key] = stats.counters.get(key, 0) + value
+    for key in ("candidates_checked", "cegis_counterexamples"):
+        value = result.record.get(key)
+        if isinstance(value, (int, float)):
+            stats.counters[key] = stats.counters.get(key, 0) + value

@@ -1,0 +1,938 @@
+"""Long-running synthesis server: asyncio front-ends over a resident pool.
+
+This is the serve path ROADMAP item 1 asks for.  The batch scheduler
+(:mod:`repro.service.scheduler`) creates a worker pool per ``run()`` call and
+tears it down after — every batch pays worker spawn cost and every job pays
+cold-solver cost.  :class:`SynthesisServer` keeps one supervised
+:class:`~repro.service.scheduler.WorkerPool` *resident* for the lifetime of
+the process, so workers accumulate warm solver state (the hash-consed term
+intern table, the Tseitin gate cache, learned theory lemmas, validity/model
+LRUs — see :mod:`repro.service.warm`) across every job of every request.
+
+Architecture — one supervisor thread, any number of front-ends::
+
+    asyncio event loop (HTTP / stdin NDJSON)        supervisor thread
+    ----------------------------------------        -----------------------
+    submit(job, emit) ──► inbox queue ── wake pipe ─► admit: cache / dedup /
+    events ◄── loop.call_soon_threadsafe ◄── emit      poison-memory check
+                                                    dispatch ─► WorkerPool
+                                                    poll: ok/error/crash/hang
+
+The supervisor owns *all* mutable scheduling state (queue, retries, in-flight
+dedup, stats), so there is exactly one writer thread; front-ends only enqueue
+submissions and receive events through thread-safe callbacks.  The wake pipe
+joins the pool's ``connection.wait`` set so a new submission interrupts an
+idle (or long) wait immediately.
+
+All of the batch scheduler's failure semantics stay live across requests —
+the same :func:`~repro.service.scheduler.classify_failure` verdicts drive
+hard deadlines (kill at soft timeout + grace), crash retry with deterministic
+backoff, and poison detection.  Poison memory is keyed by fingerprint and
+survives the request that triggered it: a job that already killed
+``POISON_KILLS`` workers is refused on resubmission instead of being allowed
+to take down more of the pool.  Cache quarantine lives on disk, so it
+survives requests (and server restarts) for free.
+
+Per-job progress streams as events through the ``emit`` callback, in
+guaranteed order per job: ``queued`` → (``started`` | ``retry``)* →
+``result``.  Results are byte-identical to a serial ``run_goals`` because
+the search is verdict-driven and warm solver state can change only the cost
+of a verdict, never the verdict (``REPRO_WARM=off`` in the server's
+environment runs the same pool cold, which is how CI proves it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+import os
+import queue as queue_mod
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs import metrics, trace
+from repro.service import faults, warm
+from repro.service.codec import CodecError, config_from_wire, goal_from_json
+from repro.service.scheduler import (
+    BACKOFF_BASE,
+    BACKOFF_CAP,
+    DEFAULT_GRACE,
+    DEFAULT_RETRIES,
+    POISON_KILLS,
+    Job,
+    JobResult,
+    SchedulerStats,
+    WorkerPool,
+    _execute_payload,
+    classify_failure,
+    fault_fields,
+    job_for_goal,
+    ship_faults,
+    tally_result,
+)
+from repro.service.specs import jobs_from_spec, validate_spec
+
+Emit = Callable[[dict], None]
+
+
+@dataclass
+class _ServerJob:
+    """One submitted job's lifetime inside the server."""
+
+    seq: int
+    job: Job
+    emit: Emit
+    submitted: float
+    attempts: int = 0
+    #: Worker kills charged to this submission when it has no fingerprint
+    #: (fingerprinted jobs use the server-wide poison memory instead).
+    kills: int = 0
+    #: Dedup followers: same (fingerprint, timeout) submitted while this one
+    #: is in flight; they receive a copy of its result.
+    followers: List["_ServerJob"] = field(default_factory=list)
+
+
+def result_summary(result: JobResult) -> dict:
+    """The wire form of a finished job (the ``result`` event payload)."""
+    return {
+        "ok": result.succeeded,
+        "tag": result.tag,
+        "fingerprint": result.fingerprint,
+        "program": result.program_text,
+        "seconds": round(result.seconds, 4),
+        "cache_hit": result.cache_hit,
+        "deduplicated": result.deduplicated,
+        "timed_out": result.timed_out,
+        "hard_timed_out": result.hard_timed_out,
+        "cancelled": result.cancelled,
+        "error": result.error,
+        "attempts": result.attempts,
+        "worker_pid": result.worker_pid,
+        "warm": result.warm,
+    }
+
+
+def jobs_from_wire(data: dict) -> List[Job]:
+    """Decode a ``POST /jobs`` body into schedulable jobs.
+
+    Two shapes: ``{"jobs": [{"goal": ..., "config"?, "tag"?, "timeout"?,
+    "retries"?}]}`` for explicit goals, or ``{"spec": <resyn-goals/1>,
+    "modes"?, "include_slow"?, "timeout"?, "retries"?}`` to expand a
+    declarative spec server-side.
+    """
+    if not isinstance(data, dict):
+        raise CodecError("request body must be a JSON object")
+    if "spec" in data:
+        spec = data["spec"]
+        validate_spec(spec)
+        return jobs_from_spec(
+            spec,
+            modes=data.get("modes"),
+            include_slow=bool(data.get("include_slow")),
+            timeout=data.get("timeout"),
+            retries=data.get("retries"),
+        )
+    entries = data.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise CodecError("request must contain a non-empty 'jobs' list (or a 'spec')")
+    jobs = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "goal" not in entry:
+            raise CodecError("each job entry needs a 'goal' payload")
+        jobs.append(
+            job_for_goal(
+                goal_from_json(entry["goal"]),
+                config_from_wire(entry.get("config")),
+                tag=entry.get("tag"),
+                timeout=entry.get("timeout"),
+                retries=entry.get("retries"),
+            )
+        )
+    return jobs
+
+
+class SynthesisServer:
+    """A resident worker pool plus the supervisor thread that drives it."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache=None,
+        retries: int = DEFAULT_RETRIES,
+        grace: float = DEFAULT_GRACE,
+        backoff_base: float = BACKOFF_BASE,
+        backoff_cap: float = BACKOFF_CAP,
+        warm_workers: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a server needs at least one worker")
+        self.workers = workers
+        self.cache = cache
+        self.retries = retries
+        self.grace = grace
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Warm execution is the server's default; REPRO_WARM=off in the
+        #: environment (inherited by forked workers) is the escape hatch the
+        #: byte-identity A/B guard uses.
+        self.warm_workers = warm_workers
+        self._start_method = start_method
+        self.stats = SchedulerStats(workers=workers)
+        self.started_at: Optional[float] = None
+        self._pool: Optional[WorkerPool] = None
+        self._thread: Optional[threading.Thread] = None
+        self._inbox: "queue_mod.Queue[Tuple[str, object]]" = queue_mod.Queue()
+        self._wake_r, self._wake_w = os.pipe()
+        self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._seq = 0
+        self._draining = False
+        self._stopped = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._queue_depth = 0
+        self._busy: Dict[int, float] = {}
+        #: Fingerprint → workers killed, across every request this server has
+        #: served.  This is what makes poison detection *survive* requests: a
+        #: poison job resubmitted later is refused, not re-executed.
+        self._poison_kills: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SynthesisServer":
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            self._start_method
+            or ("fork" if "fork" in multiprocessing.get_all_start_methods() else None)
+        )
+        self._pool = WorkerPool(size=self.workers, ctx=ctx, grace=self.grace)
+        if self._pool.start() == 0:
+            # No worker could spawn: stay up, run jobs inline (degraded).
+            self.stats.degraded_serial = 1
+            metrics.REGISTRY.counter("serve.degraded").inc()
+        self.started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._supervise, name="repro-serve-supervisor", daemon=True
+        )
+        self._thread.start()
+        metrics.REGISTRY.counter("serve.starts").inc()
+        trace.event("serve.start", workers=self.workers, warm=self.warm_workers)
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop the server: optionally drain queued work, then stop the pool.
+
+        Graceful (``drain=True``) finishes every queued and active job and
+        delivers their events before workers stop; ``drain=False`` cancels
+        queued jobs (each still receives a ``result`` event, marked
+        cancelled) and kills active ones.
+        """
+        with self._lock:
+            if self._stopped.is_set():
+                return
+            self._draining = True
+        self._inbox.put(("shutdown", drain))
+        self._wake()
+        self._stopped.wait(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no work is queued or active (True) or timeout (False)."""
+        return self._idle.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Submission (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, emit: Emit) -> int:
+        """Queue one job; events stream to ``emit`` (called from the
+        supervisor thread — wrap with ``call_soon_threadsafe`` in asyncio).
+        Returns the server-wide job id."""
+        with self._lock:
+            if self._draining or self._stopped.is_set():
+                raise RuntimeError("server is shutting down")
+            self._seq += 1
+            seq = self._seq
+        self._idle.clear()
+        self._inbox.put(
+            ("submit", _ServerJob(seq=seq, job=job, emit=emit, submitted=time.monotonic()))
+        )
+        self._wake()
+        metrics.REGISTRY.counter("serve.jobs_submitted").inc()
+        return seq
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Stats (any thread)
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        pool = self._pool
+        with self._stats_lock:
+            scheduler = self.stats.as_dict()
+        if pool is not None:
+            scheduler["worker_kills"] = pool.kills
+            scheduler["pool_rebuilds"] = pool.rebuilds
+        uptime = time.monotonic() - self.started_at if self.started_at else 0.0
+        scheduler["wall_seconds"] = round(uptime, 4)
+        payload = {
+            "server": {
+                "uptime_seconds": round(uptime, 4),
+                "workers": self.workers,
+                "workers_live": pool.live_count if pool is not None else 0,
+                "queue_depth": self._queue_depth,
+                "active_jobs": pool.active_count if pool is not None else 0,
+                "warm": bool(self.warm_workers and warm.env_allows()),
+                "draining": self._draining,
+                "poison_fingerprints": sum(
+                    1 for kills in self._poison_kills.values() if kills >= POISON_KILLS
+                ),
+            },
+            "scheduler": scheduler,
+        }
+        if self.cache is not None and hasattr(self.cache, "stats_dict"):
+            payload["cache"] = self.cache.stats_dict()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Supervisor thread: the only writer of scheduling state
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        pool = self._pool
+        assert pool is not None
+        queue: Deque[_ServerJob] = deque()
+        retry_heap: List[Tuple[float, int, _ServerJob]] = []
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob] = {}
+        shutdown = False
+        drain = True
+        try:
+            while True:
+                while True:
+                    try:
+                        op, arg = self._inbox.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    if op == "submit":
+                        self._admit(arg, queue, inflight)
+                    else:  # shutdown
+                        shutdown = True
+                        drain = bool(arg)
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, _, sjob = heapq.heappop(retry_heap)
+                    queue.appendleft(sjob)
+                if shutdown and not drain:
+                    # Cancel queued + pending-retry work; active jobs are
+                    # killed with the pool below but still get an event.
+                    for sjob in list(queue) + [item[2] for item in retry_heap]:
+                        self._finish(
+                            sjob,
+                            JobResult(
+                                tag=sjob.job.tag,
+                                fingerprint=sjob.job.fingerprint,
+                                cancelled=True,
+                                attempts=sjob.attempts,
+                            ),
+                            inflight,
+                        )
+                    queue.clear()
+                    retry_heap.clear()
+                    for sjob in pool.active_tokens():
+                        self._finish(
+                            sjob,
+                            JobResult(
+                                tag=sjob.job.tag,
+                                fingerprint=sjob.job.fingerprint,
+                                cancelled=True,
+                                attempts=sjob.attempts + 1,
+                            ),
+                            inflight,
+                        )
+                    break
+                if pool.live_count == 0 and queue:
+                    # Degraded mode: no worker could ever spawn — execute in
+                    # the supervisor thread so the server stays useful.
+                    self.stats.degraded_serial = 1
+                    self._run_inline(queue.popleft(), inflight)
+                    continue
+                while pool.idle_count and queue:
+                    sjob = queue.popleft()
+                    if not self._dispatch(sjob):
+                        queue.appendleft(sjob)
+                self._queue_depth = len(queue) + len(retry_heap)
+                busy = bool(pool.active_count or queue or retry_heap)
+                if not busy:
+                    if self._inbox.empty():
+                        self._idle.set()
+                    if shutdown:
+                        break
+                bounds = []
+                deadline = pool.next_deadline()
+                if deadline is not None:
+                    bounds.append(deadline)
+                if retry_heap:
+                    bounds.append(retry_heap[0][0])
+                timeout = max(min(bounds) - time.monotonic(), 0.0) if bounds else None
+                events, ready_extra = pool.poll(timeout, extra=[self._wake_r])
+                if ready_extra:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:
+                        pass
+                for event in events:
+                    sjob = event.token
+                    if event.kind in ("crash", "hang"):
+                        self._job_failed(sjob, event.kind, event.body, retry_heap, inflight)
+                    else:
+                        self._job_done(sjob, event.kind, event.body, inflight)
+        finally:
+            with self._stats_lock:
+                self.stats.worker_kills = pool.kills
+                self.stats.pool_rebuilds = pool.rebuilds
+            pool.stop()
+            self._idle.set()
+            self._stopped.set()
+            trace.event("serve.stop")
+
+    def _emit(self, sjob: _ServerJob, event: dict) -> None:
+        try:
+            sjob.emit(event)
+        except Exception:  # noqa: BLE001 - a dead client must not kill serving
+            pass
+
+    def _admit(
+        self,
+        sjob: _ServerJob,
+        queue: Deque[_ServerJob],
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        job = sjob.job
+        with self._stats_lock:
+            self.stats.jobs += 1
+        self._emit(
+            sjob,
+            {"event": "queued", "id": sjob.seq, "tag": job.tag, "fingerprint": job.fingerprint},
+        )
+        kills = self._poison_kills.get(job.fingerprint, 0) if job.fingerprint else 0
+        if kills >= POISON_KILLS:
+            with self._stats_lock:
+                self.stats.poisoned += 1
+            self._finish(
+                sjob,
+                JobResult(
+                    tag=job.tag,
+                    fingerprint=job.fingerprint,
+                    error=(
+                        f"poison job: killed {kills} workers in this server's lifetime; "
+                        "refusing to re-execute"
+                    ),
+                ),
+                inflight,
+            )
+            return
+        if self.cache is not None and job.fingerprint:
+            entry = self.cache.lookup(job.fingerprint)
+            if entry is not None:
+                with self._stats_lock:
+                    self.stats.cache_hits += 1
+                self._finish(
+                    sjob,
+                    JobResult(
+                        tag=job.tag,
+                        fingerprint=job.fingerprint,
+                        record=entry,
+                        cache_hit=True,
+                        timed_out=bool(entry.get("timed_out")),
+                    ),
+                    inflight,
+                )
+                return
+        key = (job.fingerprint, job.timeout)
+        primary = inflight.get(key) if job.fingerprint else None
+        if primary is not None:
+            with self._stats_lock:
+                self.stats.deduplicated += 1
+            primary.followers.append(sjob)
+            return
+        inflight[key] = sjob
+        with self._stats_lock:
+            self.stats.synth_runs += 1
+        queue.append(sjob)
+
+    def _payload(self, sjob: _ServerJob) -> dict:
+        job = sjob.job
+        payload = {"goal": job.goal_json, "config": job.config_json, "timeout": job.timeout}
+        if self.warm_workers:
+            payload["warm"] = True
+        if self._pool is not None and self._pool.clock_shared:
+            payload["submitted"] = sjob.submitted
+        plan = faults.plan()
+        if ship_faults(plan):
+            payload.update(
+                fault_fields(plan, sjob.job.fingerprint or sjob.job.tag, sjob.attempts)
+            )
+        return payload
+
+    def _soft_timeout(self, job: Job) -> Optional[float]:
+        config_timeout = job.config_json.get("timeout")
+        soft = job.timeout
+        if config_timeout is not None:
+            soft = config_timeout if soft is None else min(soft, config_timeout)
+        return soft
+
+    def _dispatch(self, sjob: _ServerJob) -> bool:
+        assert self._pool is not None
+        if not self._pool.dispatch(sjob, self._payload(sjob), self._soft_timeout(sjob.job)):
+            return False
+        self._emit(
+            sjob, {"event": "started", "id": sjob.seq, "attempt": sjob.attempts + 1}
+        )
+        return True
+
+    def _run_inline(
+        self, sjob: _ServerJob, inflight: Dict[Tuple[str, Optional[float]], _ServerJob]
+    ) -> None:
+        self._emit(sjob, {"event": "started", "id": sjob.seq, "attempt": sjob.attempts + 1})
+        try:
+            record = _execute_payload(self._payload(sjob))
+        except Exception as exc:  # noqa: BLE001 - worker parity
+            sjob.attempts += 1
+            self._finish(
+                sjob,
+                JobResult(
+                    tag=sjob.job.tag,
+                    fingerprint=sjob.job.fingerprint,
+                    error=repr(exc),
+                    attempts=sjob.attempts,
+                ),
+                inflight,
+            )
+            return
+        self._job_done(sjob, "ok", record, inflight)
+
+    def _job_done(
+        self,
+        sjob: _ServerJob,
+        kind: str,
+        body: object,
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        sjob.attempts += 1
+        job = sjob.job
+        if kind == "ok":
+            record = body
+            queue_seconds = float(record.pop("queue_seconds", 0.0))
+            run_seconds = float(record.pop("run_seconds", 0.0))
+            warm_block = record.pop("warm", None)
+            result = JobResult(
+                tag=job.tag,
+                fingerprint=job.fingerprint,
+                record=record,
+                timed_out=bool(record.get("timed_out")),
+                attempts=sjob.attempts,
+                queue_seconds=queue_seconds,
+                run_seconds=run_seconds,
+                worker_pid=int(record.get("worker_pid", 0)),
+                warm=warm_block,
+            )
+            if self.cache is not None and job.fingerprint and not result.timed_out:
+                self.cache.store(job.fingerprint, record)
+        else:
+            result = JobResult(
+                tag=job.tag, fingerprint=job.fingerprint, error=body, attempts=sjob.attempts
+            )
+        self._finish(sjob, result, inflight)
+
+    def _job_failed(
+        self,
+        sjob: _ServerJob,
+        cause: str,
+        detail: str,
+        retry_heap: List[Tuple[float, int, _ServerJob]],
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        job = sjob.job
+        sjob.attempts += 1
+        if job.fingerprint:
+            self._poison_kills[job.fingerprint] = self._poison_kills.get(job.fingerprint, 0) + 1
+            kills = self._poison_kills[job.fingerprint]
+        else:
+            sjob.kills += 1
+            kills = sjob.kills
+        if cause == "hang":
+            with self._stats_lock:
+                self.stats.hard_timeouts += 1
+        retry_budget = job.retries if job.retries is not None else self.retries
+        verdict = classify_failure(kills, sjob.attempts, retry_budget)
+        if verdict == "retry":
+            with self._stats_lock:
+                self.stats.retries += 1
+            delay = min(self.backoff_base * (2 ** max(sjob.attempts - 1, 0)), self.backoff_cap)
+            self._emit(
+                sjob,
+                {
+                    "event": "retry",
+                    "id": sjob.seq,
+                    "attempt": sjob.attempts,
+                    "cause": cause,
+                    "detail": detail,
+                },
+            )
+            heapq.heappush(retry_heap, (time.monotonic() + delay, sjob.seq, sjob))
+            return
+        if verdict == "poison":
+            with self._stats_lock:
+                self.stats.poisoned += 1
+            result = JobResult(
+                tag=job.tag,
+                fingerprint=job.fingerprint,
+                error=f"poison job: killed {kills} workers (last: {detail})",
+                attempts=sjob.attempts,
+            )
+        elif cause == "hang":
+            result = JobResult(
+                tag=job.tag,
+                fingerprint=job.fingerprint,
+                timed_out=True,
+                hard_timed_out=True,
+                attempts=sjob.attempts,
+            )
+        else:
+            result = JobResult(
+                tag=job.tag, fingerprint=job.fingerprint, error=detail, attempts=sjob.attempts
+            )
+        self._finish(sjob, result, inflight)
+
+    def _finish(
+        self,
+        sjob: _ServerJob,
+        result: JobResult,
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        key = (sjob.job.fingerprint, sjob.job.timeout)
+        if inflight.get(key) is sjob:
+            del inflight[key]
+        with self._stats_lock:
+            tally_result(self.stats, result, self._busy)
+        metrics.REGISTRY.counter("serve.jobs_completed").inc()
+        trace.event(
+            "serve.job.done", tag=result.tag, ok=result.succeeded, attempts=result.attempts
+        )
+        self._emit(sjob, {"event": "result", "id": sjob.seq, **result_summary(result)})
+        for follower in sjob.followers:
+            copy = JobResult(
+                tag=follower.job.tag,
+                fingerprint=follower.job.fingerprint,
+                record=result.record,
+                cache_hit=result.cache_hit,
+                deduplicated=True,
+                timed_out=result.timed_out,
+                hard_timed_out=result.hard_timed_out,
+                cancelled=result.cancelled,
+                error=result.error,
+            )
+            with self._stats_lock:
+                tally_result(self.stats, copy, self._busy)
+            self._emit(follower, {"event": "result", "id": follower.seq, **result_summary(copy)})
+        sjob.followers = []
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end (hand-rolled HTTP/1.1 over asyncio — no dependencies)
+# ---------------------------------------------------------------------------
+
+
+def _http_response(status: str, payload: dict) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return (
+        f"HTTP/1.1 {status}\r\nContent-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    ).encode() + body
+
+
+async def _read_request(reader) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        hline = await reader.readline()
+        if not hline or hline in (b"\r\n", b"\n"):
+            break
+        name, _, value = hline.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length") or 0)
+    if length:
+        body = await reader.readexactly(length)
+    return method, path, headers, body
+
+
+def _chunk(data: bytes) -> bytes:
+    return b"%X\r\n%s\r\n" % (len(data), data)
+
+
+async def _stream_jobs(server: SynthesisServer, jobs: List[Job], writer) -> None:
+    """Submit ``jobs`` and stream their NDJSON events until all results land.
+
+    The body is ``Transfer-Encoding: chunked`` — one chunk per NDJSON line,
+    closed by the terminating 0-chunk — so a client sees ``queued``/
+    ``started``/``retry`` progress live and knows the stream is complete
+    without waiting for EOF.  Self-delimiting framing matters here: workers
+    respawned mid-request (crash recovery) fork a copy of the accepted
+    socket, so the client would otherwise never observe FIN while a resident
+    worker holds the descriptor.
+    """
+    loop = asyncio.get_running_loop()
+    events: "asyncio.Queue[dict]" = asyncio.Queue()
+
+    def emit(event: dict) -> None:
+        loop.call_soon_threadsafe(events.put_nowait, event)
+
+    ids = [server.submit(job, emit) for job in jobs]
+    writer.write(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n"
+        b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(_chunk((json.dumps({"event": "accepted", "ids": ids}) + "\n").encode()))
+    await writer.drain()
+    done = 0
+    while done < len(jobs):
+        event = await events.get()
+        writer.write(_chunk((json.dumps(event, sort_keys=True) + "\n").encode()))
+        await writer.drain()
+        if event.get("event") == "result":
+            done += 1
+    writer.write(b"0\r\n\r\n")
+
+
+async def _handle_connection(
+    server: SynthesisServer, reader, writer, stop_event: asyncio.Event
+) -> None:
+    try:
+        request = await _read_request(reader)
+        if request is None:
+            return
+        method, path, _, body = request
+        metrics.REGISTRY.counter("serve.http_requests").inc()
+        if method == "GET" and path == "/healthz":
+            writer.write(_http_response("200 OK", {"ok": True}))
+        elif method == "GET" and path == "/stats":
+            writer.write(_http_response("200 OK", server.stats_dict()))
+        elif method == "POST" and path == "/jobs":
+            try:
+                jobs = jobs_from_wire(json.loads(body or b"{}"))
+            except (json.JSONDecodeError, CodecError, KeyError, TypeError, ValueError) as exc:
+                writer.write(_http_response("400 Bad Request", {"error": str(exc)}))
+            else:
+                try:
+                    await _stream_jobs(server, jobs, writer)
+                except RuntimeError as exc:  # shutting down
+                    writer.write(_http_response("503 Service Unavailable", {"error": str(exc)}))
+        elif method == "POST" and path == "/shutdown":
+            try:
+                drain = bool(json.loads(body or b"{}").get("drain", True))
+            except json.JSONDecodeError:
+                drain = True
+            writer.write(_http_response("200 OK", {"ok": True, "drain": drain}))
+            await writer.drain()
+            stop_event.drain_on_stop = drain  # type: ignore[attr-defined]
+            stop_event.set()
+        else:
+            writer.write(_http_response("404 Not Found", {"error": f"no route {method} {path}"}))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# stdin NDJSON front-end
+# ---------------------------------------------------------------------------
+
+
+async def _stdio_loop(server: SynthesisServer, stop_event: asyncio.Event) -> None:
+    """Newline-delimited JSON over stdin/stdout.
+
+    Ops: ``{"op": "submit", "jobs"|"spec": ...}`` (events stream to stdout),
+    ``{"op": "stats"}``, ``{"op": "shutdown", "drain"?: bool}``.  EOF on
+    stdin is a graceful shutdown.
+    """
+    loop = asyncio.get_running_loop()
+
+    def out(payload: dict) -> None:
+        sys.stdout.write(json.dumps(payload, sort_keys=True) + "\n")
+        sys.stdout.flush()
+
+    def emit(event: dict) -> None:
+        loop.call_soon_threadsafe(out, event)
+
+    while not stop_event.is_set():
+        line = await asyncio.to_thread(sys.stdin.readline)
+        if not line:
+            stop_event.set()
+            break
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            op = data.get("op")
+            if op == "submit":
+                jobs = jobs_from_wire(data)
+                ids = [server.submit(job, emit) for job in jobs]
+                out({"event": "accepted", "ids": ids})
+            elif op == "stats":
+                out({"event": "stats", "stats": server.stats_dict()})
+            elif op == "shutdown":
+                stop_event.drain_on_stop = bool(data.get("drain", True))  # type: ignore[attr-defined]
+                out({"event": "shutting_down"})
+                stop_event.set()
+            else:
+                out({"event": "error", "error": f"unknown op {op!r}"})
+        except (json.JSONDecodeError, CodecError, RuntimeError, ValueError) as exc:
+            out({"event": "error", "error": str(exc)})
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+
+async def serve_async(
+    server: SynthesisServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    stdio: bool = False,
+    ready: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Run the HTTP (and optionally stdio) front-ends until shutdown."""
+    stop_event = asyncio.Event()
+    http_server = await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w, stop_event), host, port
+    )
+    bound_port = http_server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(bound_port)
+    stdio_task = asyncio.create_task(_stdio_loop(server, stop_event)) if stdio else None
+    await stop_event.wait()
+    http_server.close()
+    await http_server.wait_closed()
+    if stdio_task is not None:
+        stdio_task.cancel()
+    drain = getattr(stop_event, "drain_on_stop", True)
+    await asyncio.to_thread(server.shutdown, drain)
+
+
+class ServerHandle:
+    """A running server + event loop in a background thread (tests, smoke)."""
+
+    def __init__(self, server: SynthesisServer, host: str = "127.0.0.1", port: int = 0):
+        self.server = server
+        self.host = host
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_requested = False
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            def on_ready(bound: int) -> None:
+                self.port = bound
+                self._ready.set()
+
+            try:
+                loop.run_until_complete(serve_async(server, host, port, ready=on_ready))
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=runner, name="repro-serve-loop", daemon=True)
+
+    def start(self) -> "ServerHandle":
+        self.server.start()
+        self._thread.start()
+        if not self._ready.wait(30.0):
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Idempotent: trigger loop shutdown and wait for it to finish."""
+        if self._thread.is_alive() and not self._stop_requested:
+            self._stop_requested = True
+            # Use the graceful path — POST /shutdown over a real socket — so
+            # drain semantics match what an external client gets.
+            try:
+                import http.client
+
+                conn = http.client.HTTPConnection(self.host, self.port, timeout=10)
+                conn.request("POST", "/shutdown", body=json.dumps({"drain": drain}).encode())
+                conn.getresponse().read()
+                conn.close()
+            except OSError:
+                loop = self._loop
+                if loop is not None:
+                    loop.call_soon_threadsafe(
+                        lambda: [task.cancel() for task in asyncio.all_tasks(loop)]
+                    )
+        self._thread.join(timeout)
+        self.server.shutdown(drain)
+
+
+def serve_in_thread(
+    workers: int = 2,
+    cache=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **server_kwargs,
+) -> ServerHandle:
+    """Boot a server + HTTP front-end in this process; returns its handle."""
+    server = SynthesisServer(workers=workers, cache=cache, **server_kwargs)
+    return ServerHandle(server, host=host, port=port).start()
+
+
+def serve_forever(
+    workers: int = 2,
+    cache=None,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    stdio: bool = False,
+    **server_kwargs,
+) -> None:
+    """Blocking entry point for ``python -m repro.service serve``."""
+    server = SynthesisServer(workers=workers, cache=cache, **server_kwargs).start()
+
+    def ready(bound: int) -> None:
+        print(f"serving on http://{host}:{bound} (workers={workers})", flush=True)
+
+    try:
+        asyncio.run(serve_async(server, host, port, stdio=stdio, ready=ready))
+    except KeyboardInterrupt:
+        server.shutdown(drain=False)

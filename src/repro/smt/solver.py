@@ -220,30 +220,89 @@ class Solver:
         """
         return self.check_valid(t.implies(antecedent, consequent))
 
-    def cache_report(self) -> Dict[str, float]:
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Raw cumulative per-instance counters (solver + encoder).
+
+        Monotonically increasing for the life of the instance, so a per-run
+        report is the difference of two snapshots — this is what lets one
+        warm solver serve many jobs while each job still reports only its
+        own traffic (see :meth:`cache_report` and ``Synthesizer``).
+        """
+        stats, enc = self.stats, self._encoder.stats
+        return {
+            "sat_queries": stats.sat_queries,
+            "validity_queries": stats.validity_queries,
+            "theory_checks": stats.theory_checks,
+            "theory_conflicts": stats.theory_conflicts,
+            "sat_solves": stats.sat_solves,
+            "valid_cache_hits": stats.valid_cache_hits,
+            "valid_cache_misses": stats.valid_cache_misses,
+            "model_cache_hits": stats.model_cache_hits,
+            "model_cache_misses": stats.model_cache_misses,
+            "lemmas_learned": stats.lemmas_learned,
+            "lemmas_shared": stats.lemmas_shared,
+            "encode_calls": enc.encode_calls,
+            "encode_cache_hits": enc.encode_cache_hits,
+            "gate_queries": enc.gate_queries,
+            "gate_hits": enc.gate_hits,
+            "gate_clauses_reused": enc.gate_clauses_reused,
+        }
+
+    def warm_sizes(self) -> Dict[str, int]:
+        """Sizes of the reusable state a long-lived solver carries.
+
+        Nonzero values at the *start* of a job are the proof that warm state
+        from earlier jobs is being reused (the ``warm_state`` counter block
+        of the synthesis server).
+        """
+        return {
+            "gate_entries": len(self._encoder._gate_cache),
+            "atom_entries": len(self._encoder._atom_cache),
+            "lemma_pool": len(self._lemma_pool),
+            "valid_entries": len(self._valid_cache),
+            "model_entries": len(self._model_cache),
+        }
+
+    def cache_report(self, since: Optional[Dict[str, int]] = None) -> Dict[str, float]:
         """Query counts and hit rates of every cache layer (for harnesses).
 
         Covers the per-instance counters only; the process-wide LIA/SAT/
         scaling counters are snapshotted via :func:`theory_counters` and
         reported as per-run deltas by the synthesis harness.
+
+        ``since`` — a :meth:`counters_snapshot` taken earlier — scopes the
+        report to the traffic after that snapshot.  On a fresh solver the
+        delta equals the totals, so cold-path reports are byte-identical
+        with or without it; on a warm (shared) solver it is what keeps
+        per-job stats per-job.
         """
-        report: Dict[str, float] = {
-            "sat_queries": self.stats.sat_queries,
-            "validity_queries": self.stats.validity_queries,
-            "theory_checks": self.stats.theory_checks,
-            "theory_conflicts": self.stats.theory_conflicts,
-            "sat_solves": self.stats.sat_solves,
-            "valid_cache_hit_rate": round(self.stats.valid_cache_hit_rate(), 4),
-            "model_cache_hit_rate": round(self.stats.model_cache_hit_rate(), 4),
-            "encode_cache_hit_rate": round(self._encoder.stats.encode_hit_rate(), 4),
-            "gate_cache_queries": self._encoder.stats.gate_queries,
-            "gate_cache_hits": self._encoder.stats.gate_hits,
-            "gate_cache_hit_rate": round(self._encoder.stats.gate_hit_rate(), 4),
-            "gate_clauses_reused": self._encoder.stats.gate_clauses_reused,
-            "lemmas_learned": self.stats.lemmas_learned,
-            "lemmas_shared": self.stats.lemmas_shared,
+        now = self.counters_snapshot()
+        base = since or {}
+        d = {key: value - base.get(key, 0) for key, value in now.items()}
+
+        def rate(hits: float, total: float) -> float:
+            return round(hits / total, 4) if total else 0.0
+
+        return {
+            "sat_queries": d["sat_queries"],
+            "validity_queries": d["validity_queries"],
+            "theory_checks": d["theory_checks"],
+            "theory_conflicts": d["theory_conflicts"],
+            "sat_solves": d["sat_solves"],
+            "valid_cache_hit_rate": rate(
+                d["valid_cache_hits"], d["valid_cache_hits"] + d["valid_cache_misses"]
+            ),
+            "model_cache_hit_rate": rate(
+                d["model_cache_hits"], d["model_cache_hits"] + d["model_cache_misses"]
+            ),
+            "encode_cache_hit_rate": rate(d["encode_cache_hits"], d["encode_calls"]),
+            "gate_cache_queries": d["gate_queries"],
+            "gate_cache_hits": d["gate_hits"],
+            "gate_cache_hit_rate": rate(d["gate_hits"], d["gate_queries"]),
+            "gate_clauses_reused": d["gate_clauses_reused"],
+            "lemmas_learned": d["lemmas_learned"],
+            "lemmas_shared": d["lemmas_shared"],
         }
-        return report
 
     # -- DPLL(T) loop -------------------------------------------------------
     @staticmethod

@@ -1,4 +1,11 @@
-"""Shared pytest configuration for the reproduction's test suite."""
+"""Shared pytest configuration and service-test helpers.
+
+The helper functions (``tiny_goal``/``tiny_jobs``/``canon``/…) are plain
+importable functions rather than fixtures so test modules can use them in
+parametrize decorators and module-level constants::
+
+    from conftest import tiny_goal, tiny_jobs, canon
+"""
 
 import os
 
@@ -35,3 +42,88 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "slow" in item.keywords:
             item.add_marker(skip_slow)
+
+
+# ---------------------------------------------------------------------------
+# Shared service-test helpers (used by test_service / test_faults /
+# test_serve / test_cache_shards / test_codec_fuzz)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _inert_faults(monkeypatch):
+    """Every test starts and ends with no fault plan installed.
+
+    Autouse suite-wide: a fault plan leaking out of one chaos test (via the
+    ``REPRO_FAULTS`` env or a ``faults.configure`` override) would silently
+    inject crashes into unrelated tests.
+    """
+    from repro.service import faults
+
+    monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+    monkeypatch.delenv(faults.ENV_SEED, raising=False)
+    faults.configure(None)
+    yield
+    faults.configure(None)
+
+
+def tiny_goal(name: str = "isEmpty"):
+    """The cheapest synthesizable goal (is-empty check, <50ms)."""
+    from repro.core import SynthesisGoal, library
+    from repro.logic import terms as t
+    from repro.typing.types import TypeSchema, arrow, bool_type, list_type, tvar_type
+
+    xs = t.data_var("xs")
+    schema = TypeSchema(
+        ("a",),
+        arrow(
+            ("xs", list_type(tvar_type("a", potential=t.ONE))),
+            bool_type(t.Iff(t.Var("_v", t.BOOL), t.len_(xs).eq(0))),
+        ),
+    )
+    return SynthesisGoal.create(name, schema, library())
+
+
+def tiny_config():
+    from repro.core import SynthesisConfig
+
+    return SynthesisConfig.resyn(max_arg_depth=1, max_match_depth=1, max_cond_depth=0)
+
+
+def tiny_jobs(count: int = 2, timeout=None, retries=None):
+    """Distinct cheap jobs (distinct fingerprints, so no in-batch dedup)."""
+    from repro.service.scheduler import job_for_goal
+
+    return [
+        job_for_goal(tiny_goal(f"isEmpty{i}"), tiny_config(), timeout=timeout, retries=retries)
+        for i in range(count)
+    ]
+
+
+#: Record fields that legitimately differ between byte-identical runs:
+#: wall-clock, process placement, cache bookkeeping, and the solver "stats"
+#: blob, whose cache-hit counters depend on how warm the executing *process*
+#: already was (a forked worker inherits the parent's caches) rather than on
+#: what the job computed.  ``warm`` is the per-job warm-state counter block —
+#: reuse telemetry, stripped for the same reason.  Everything else — the
+#: program, its size, and the search counters — must match exactly.
+RUN_LOCAL_FIELDS = frozenset(
+    {"seconds", "worker_pid", "stored_at", "fingerprint", "stats", "warm"}
+)
+
+
+def canon(record):
+    """A record minus its run-local fields — the byte-identity comparand."""
+    assert record is not None
+    return {key: value for key, value in record.items() if key not in RUN_LOCAL_FIELDS}
+
+
+def records_of(results):
+    return [canon(result.record) for result in results]
+
+
+def baseline_records(jobs):
+    """Fault-free serial reference records for ``jobs``."""
+    from repro.service.scheduler import BatchScheduler
+
+    return records_of(BatchScheduler(workers=1).run(jobs))

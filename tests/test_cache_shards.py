@@ -1,0 +1,285 @@
+"""Tests for the sharded result cache (repro.service.cache.ShardedResultCache).
+
+Four properties make sharding safe to roll out under a live server:
+
+* **pure routing** — a fingerprint's shard is a pure function of its prefix,
+  identical across instances, processes, and reopens (the shard count is
+  persisted in ``meta.json`` and a mismatched reopen is refused);
+* **behavioral parity** — the Table 1 workload sees the same hits, misses
+  and synthesized programs through a sharded cache as through the unsharded
+  one it replaces;
+* **failure isolation** — LRU caps and quarantine act per shard, so one hot
+  or corrupt prefix range cannot evict (or poison) the whole keyspace;
+* **in-place upgrade** — a pre-sharding v2 directory stays readable through
+  the sharded front, promoting entries to their owning shard on first hit.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.benchsuite.runner import benchmark_config, selected_benchmarks
+from repro.service.cache import (
+    DEFAULT_SHARDS,
+    ResultCache,
+    ShardedResultCache,
+    open_cache,
+    shard_index,
+)
+from repro.service.scheduler import BatchScheduler, job_for_goal
+
+from conftest import tiny_config, tiny_goal
+
+
+def fp_in_shard(target, shards, salt=0):
+    """A synthetic 64-hex fingerprint routed to shard ``target``."""
+    for probe in range(10_000):
+        value = (salt * 10_000 + probe) * shards + target
+        candidate = f"{value:08x}" + f"{salt:04x}{probe:04x}".rjust(56, "0")
+        if shard_index(candidate, shards) == target:
+            return candidate
+    raise AssertionError("no fingerprint found")
+
+
+def record_for(tag):
+    return {"goal_name": tag, "program": None, "seconds": 0.01}
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+
+class TestShardIndex:
+    def test_pure_in_range_and_prefix_determined(self):
+        rng = random.Random(7)
+        for shards in (1, 2, 4, 8, 16):
+            for _ in range(50):
+                fingerprint = "".join(rng.choice("0123456789abcdef") for _ in range(64))
+                index = shard_index(fingerprint, shards)
+                assert 0 <= index < shards
+                assert shard_index(fingerprint, shards) == index  # pure
+                # Only the prefix matters: same first 8 hex chars, same shard.
+                sibling = fingerprint[:8] + "f" * 56
+                assert shard_index(sibling, shards) == index
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_index("ab" * 32, 0)
+
+    def test_instances_route_identically(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=4)
+        reopened = ShardedResultCache(str(tmp_path / "c"))
+        rng = random.Random(3)
+        for _ in range(25):
+            fingerprint = "".join(rng.choice("0123456789abcdef") for _ in range(64))
+            assert cache.shard_for(fingerprint) == reopened.shard_for(fingerprint)
+
+
+class TestPersistence:
+    def test_shard_count_persists_and_mismatch_is_refused(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ShardedResultCache(root, shards=3)
+        meta = json.load(open(os.path.join(root, "meta.json")))
+        assert meta["shards"] == 3
+        assert ShardedResultCache(root).shards == 3  # persisted count wins
+        with pytest.raises(ValueError):
+            ShardedResultCache(root, shards=5)
+
+    def test_open_cache_flavours(self, tmp_path):
+        plain = open_cache(str(tmp_path / "plain"))
+        assert isinstance(plain, ResultCache)
+        assert isinstance(open_cache(str(tmp_path / "one"), shards=1), ResultCache)
+        sharded = open_cache(str(tmp_path / "sharded"), shards=4)
+        assert isinstance(sharded, ShardedResultCache)
+        # Reopening without asking for shards auto-detects the layout.
+        reopened = open_cache(str(tmp_path / "sharded"))
+        assert isinstance(reopened, ShardedResultCache) and reopened.shards == 4
+
+    def test_default_shard_count(self, tmp_path):
+        assert ShardedResultCache(str(tmp_path / "c")).shards == DEFAULT_SHARDS
+
+
+# ---------------------------------------------------------------------------
+# Store/lookup routing and layout
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_entries_land_in_their_shard_directory(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=4)
+        for target in range(4):
+            fingerprint = fp_in_shard(target, 4)
+            cache.store(fingerprint, record_for(f"s{target}"))
+            path = os.path.join(
+                str(tmp_path / "c"),
+                "shards",
+                f"{target:02d}",
+                "objects",
+                fingerprint[:2],
+                f"{fingerprint}.json",
+            )
+            assert os.path.exists(path), f"entry not in shard {target}"
+        assert len(cache) == 4
+        assert sorted(cache.fingerprints()) == sorted(
+            fp_in_shard(target, 4) for target in range(4)
+        )
+
+    def test_lookup_update_and_clear(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=2)
+        fingerprint = fp_in_shard(1, 2)
+        assert cache.lookup(fingerprint) is None
+        cache.store(fingerprint, record_for("x"))
+        entry = cache.lookup(fingerprint)
+        assert entry["goal_name"] == "x"
+        assert cache.update(fingerprint, measured=True)
+        assert cache.lookup(fingerprint)["measured"] is True
+        assert not cache.update("ff" * 32, measured=True)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# Parity with the unsharded cache on the real workload
+# ---------------------------------------------------------------------------
+
+
+def _table1_resyn_jobs():
+    return [
+        job_for_goal(bench.goal, benchmark_config(bench, "resyn"), tag=bench.key)
+        for bench in selected_benchmarks("table1")
+    ]
+
+
+class TestParity:
+    def test_hit_rate_parity_on_table1(self, tmp_path):
+        """Cold-then-warm Table 1 traffic: sharded == unsharded, bit for bit."""
+        outcomes = {}
+        for flavour, cache_factory in (
+            ("plain", lambda: ResultCache(str(tmp_path / "plain"))),
+            ("sharded", lambda: ShardedResultCache(str(tmp_path / "sharded"), shards=4)),
+        ):
+            cold = BatchScheduler(workers=1, cache=cache_factory())
+            cold_results = cold.run(_table1_resyn_jobs())
+            warm = BatchScheduler(workers=1, cache=cache_factory())
+            warm_results = warm.run(_table1_resyn_jobs())
+            outcomes[flavour] = {
+                "programs": [r.program_text for r in warm_results],
+                "cold": (cold.stats.cache_hits, len(cold_results)),
+                "warm_hits": warm.stats.cache_hits,
+                "warm_all_hit": all(r.cache_hit for r in warm_results),
+            }
+        plain, sharded = outcomes["plain"], outcomes["sharded"]
+        assert plain["cold"] == sharded["cold"] == (0, len(_table1_resyn_jobs()))
+        assert plain["warm_all_hit"] and sharded["warm_all_hit"]
+        assert plain["warm_hits"] == sharded["warm_hits"]
+        assert plain["programs"] == sharded["programs"]
+
+    def test_stats_merge_and_hit_rate(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=4)
+        hits = [fp_in_shard(i % 4, 4, salt=1) for i in range(8)]
+        for fingerprint in hits:
+            cache.store(fingerprint, record_for("h"))
+        for fingerprint in hits:
+            assert cache.lookup(fingerprint) is not None
+        assert cache.lookup("0" * 64) is None
+        stats = cache.stats
+        assert stats.hits == 8 and stats.misses == 1 and stats.stores == 8
+        assert stats.hit_rate() == pytest.approx(8 / 9)
+
+
+# ---------------------------------------------------------------------------
+# Per-shard failure isolation
+# ---------------------------------------------------------------------------
+
+
+class TestIsolation:
+    def test_per_shard_lru_eviction(self, tmp_path):
+        # max_entries=8 over 4 shards = 2 per shard: 5 stores into one shard
+        # must evict locally without touching the other shards' entries.
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=4, max_entries=8)
+        keepers = [fp_in_shard(target, 4, salt=2) for target in (1, 2, 3)]
+        for fingerprint in keepers:
+            cache.store(fingerprint, record_for("keep"))
+        hot = [fp_in_shard(0, 4, salt=3 + i) for i in range(5)]
+        for fingerprint in hot:
+            cache.store(fingerprint, record_for("hot"))
+        assert cache.stats.evictions == 3
+        assert len(cache._shards[0]) == 2
+        for fingerprint in keepers:  # cold shards are untouched
+            assert cache.lookup(fingerprint) is not None
+
+    def test_per_shard_quarantine(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=4)
+        bad = fp_in_shard(0, 4, salt=5)
+        good = fp_in_shard(1, 4, salt=5)
+        cache.store(bad, record_for("bad"))
+        cache.store(good, record_for("good"))
+        bad_path = cache._shards[0]._entry_path(bad)
+        with open(bad_path, "w") as handle:
+            handle.write('{"goal_name": "tampered"}')
+        assert cache.lookup(bad) is None  # quarantined, not served
+        assert cache.lookup(good) is not None  # sibling shard unaffected
+        assert cache.stats.quarantined == 1
+        assert cache.quarantined_entries() == [f"{bad}.json"]
+        assert cache._shards[1].quarantined_entries() == []
+        per_shard = cache.stats_dict()["per_shard"]
+        assert per_shard[0]["quarantined_entries"] == 1
+        assert per_shard[1]["quarantined_entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Legacy v2 read-through
+# ---------------------------------------------------------------------------
+
+
+class TestLegacyUpgrade:
+    def _legacy_with_entries(self, root, count=6):
+        legacy = ResultCache(root)
+        fingerprints = []
+        rng = random.Random(11)
+        for i in range(count):
+            fingerprint = "".join(rng.choice("0123456789abcdef") for _ in range(64))
+            legacy.store(fingerprint, record_for(f"legacy{i}"))
+            fingerprints.append(fingerprint)
+        return fingerprints
+
+    def test_readthrough_promotes_and_converges(self, tmp_path):
+        root = str(tmp_path / "cache")
+        fingerprints = self._legacy_with_entries(root)
+        cache = ShardedResultCache(root, shards=4)
+        assert len(cache) == len(fingerprints)
+        for fingerprint in fingerprints:
+            entry = cache.lookup(fingerprint)
+            assert entry is not None and entry["goal_name"].startswith("legacy")
+            # Promoted: the owning shard now serves it directly...
+            assert cache._shard(fingerprint).lookup(fingerprint) is not None
+            # ...and the legacy copy is gone.
+            assert not os.path.exists(cache._legacy._entry_path(fingerprint))
+        assert len(cache._legacy) == 0
+        # A promotion counts as ONE logical lookup in the merged stats.
+        lookups = len(fingerprints) * 2  # readthrough pass + shard-direct pass
+        assert cache.stats.hits + cache.stats.misses == lookups
+
+    def test_upgraded_root_reopens_sharded(self, tmp_path):
+        root = str(tmp_path / "cache")
+        fingerprints = self._legacy_with_entries(root)
+        first = ShardedResultCache(root, shards=4)
+        for fingerprint in fingerprints:
+            first.lookup(fingerprint)
+        reopened = open_cache(root)
+        assert isinstance(reopened, ShardedResultCache) and reopened.shards == 4
+        for fingerprint in fingerprints:
+            assert reopened.lookup(fingerprint) is not None
+
+    def test_telemetry_records_shard_count(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=4)
+        cache.store(fp_in_shard(0, 4, salt=9), record_for("t"))
+        cache.record_run_telemetry({"wall_seconds": 1.0})
+        telemetry = cache.telemetry()
+        assert telemetry["runs"] == 1
+        assert telemetry["last_run"]["shards"] == 4
+        cache.record_run_telemetry({"wall_seconds": 1.0})
+        assert cache.telemetry()["runs"] == 2

@@ -1,0 +1,364 @@
+"""Property/fuzz round-trip suite for the wire codec, specs and fingerprints.
+
+Strategy: *seeded* random generators build sort-correct refinement terms,
+Re2 types, programs, goals and configurations — the same seed always builds
+the same value, so a failure reproduces from the test id alone.  For every
+generated value ``x`` the codec must satisfy:
+
+* **round-trip**  ``decode(encode(x)) == x`` (structural equality);
+* **fixpoint**    ``encode(decode(encode(x))) == encode(x)`` (encoding is
+  canonical — decoding never "normalizes" into a different wire form);
+* **JSON-able**   ``json.loads(json.dumps(encode(x))) == encode(x)``;
+* **fingerprint stability** — a goal/config pair fingerprints identically
+  before and after any number of encode/decode cycles.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import SynthesisGoal
+from repro.core.components import STANDARD_COMPONENTS
+from repro.lang import syntax as s
+from repro.logic import terms as t
+from repro.logic.sorts import BOOL, INT
+from repro.service.codec import (
+    CodecError,
+    config_from_json,
+    config_from_mode,
+    config_from_wire,
+    config_to_json,
+    goal_from_json,
+    goal_to_json,
+    program_from_json,
+    program_to_json,
+    schema_from_json,
+    schema_to_json,
+    term_from_json,
+    term_to_json,
+)
+from repro.service.fingerprint import canonical_json, job_fingerprint
+from repro.service.specs import export_table_spec, jobs_from_spec, load_spec, write_spec
+from repro.typing.types import (
+    ArrowType,
+    BoolBase,
+    IntBase,
+    ListBase,
+    RType,
+    TreeBase,
+    TypeSchema,
+    TypeVarBase,
+)
+
+SEEDS = range(20)
+
+# ---------------------------------------------------------------------------
+# Seeded generators (sort-correct by construction)
+# ---------------------------------------------------------------------------
+
+
+def _name(rng, prefix="v"):
+    return f"{prefix}{rng.randrange(4)}"
+
+
+def gen_int_term(rng, depth):
+    if depth <= 0:
+        return rng.choice(
+            [
+                lambda: t.IntConst(rng.randrange(-3, 4)),
+                lambda: t.Var(_name(rng, "n"), INT),
+            ]
+        )()
+    pick = rng.randrange(5)
+    if pick == 0:
+        return t.Add(gen_int_term(rng, depth - 1), gen_int_term(rng, depth - 1))
+    if pick == 1:
+        return t.Sub(gen_int_term(rng, depth - 1), gen_int_term(rng, depth - 1))
+    if pick == 2:
+        return t.Mul(gen_int_term(rng, depth - 1), gen_int_term(rng, depth - 1))
+    if pick == 3:
+        return t.Ite(
+            gen_bool_term(rng, depth - 1),
+            gen_int_term(rng, depth - 1),
+            gen_int_term(rng, depth - 1),
+        )
+    return t.App(
+        _name(rng, "f"), (gen_int_term(rng, depth - 1),), INT
+    )
+
+
+def gen_set_term(rng, depth):
+    if depth <= 0:
+        return rng.choice(
+            [lambda: t.EmptySet(), lambda: t.SetSingleton(gen_int_term(rng, 0))]
+        )()
+    ctor = rng.choice([t.SetUnion, t.SetIntersect, t.SetDiff])
+    return ctor(gen_set_term(rng, depth - 1), gen_set_term(rng, depth - 1))
+
+
+def gen_bool_term(rng, depth):
+    if depth <= 0:
+        return rng.choice(
+            [
+                lambda: t.BoolConst(rng.random() < 0.5),
+                lambda: t.Var(_name(rng, "b"), BOOL),
+            ]
+        )()
+    pick = rng.randrange(8)
+    if pick == 0:
+        ctor = rng.choice([t.Le, t.Lt, t.Ge, t.Gt, t.Eq])
+        return ctor(gen_int_term(rng, depth - 1), gen_int_term(rng, depth - 1))
+    if pick == 1:
+        ctor = rng.choice([t.Implies, t.Iff])
+        return ctor(gen_bool_term(rng, depth - 1), gen_bool_term(rng, depth - 1))
+    if pick == 2:
+        return t.Not(gen_bool_term(rng, depth - 1))
+    if pick == 3:
+        args = tuple(gen_bool_term(rng, depth - 1) for _ in range(rng.randrange(2, 4)))
+        return rng.choice([t.And, t.Or])(args)
+    if pick == 4:
+        return t.SetMember(gen_int_term(rng, depth - 1), gen_set_term(rng, depth - 1))
+    if pick == 5:
+        return t.SetSubset(gen_set_term(rng, depth - 1), gen_set_term(rng, depth - 1))
+    if pick == 6:
+        return t.SetAll(
+            _name(rng, "e"), gen_set_term(rng, depth - 1), gen_bool_term(rng, depth - 1)
+        )
+    return t.Ite(
+        gen_bool_term(rng, depth - 1),
+        gen_bool_term(rng, depth - 1),
+        gen_bool_term(rng, depth - 1),
+    )
+
+
+def gen_rtype(rng, depth):
+    pick = rng.randrange(5) if depth > 0 else rng.randrange(3)
+    if pick == 0:
+        base = BoolBase()
+    elif pick == 1:
+        base = IntBase()
+    elif pick == 2:
+        base = TypeVarBase(_name(rng, "a"))
+    elif pick == 3:
+        base = ListBase(gen_rtype(rng, depth - 1), rng.random() < 0.3)
+    else:
+        base = TreeBase(gen_rtype(rng, depth - 1))
+    refinement = t.TRUE if rng.random() < 0.5 else gen_bool_term(rng, 1)
+    potential = t.ZERO if rng.random() < 0.5 else gen_int_term(rng, 1)
+    return RType(base, refinement, potential)
+
+
+def gen_arrow(rng, depth):
+    result = gen_rtype(rng, depth) if depth <= 0 or rng.random() < 0.6 else gen_arrow(rng, depth - 1)
+    return ArrowType(_name(rng, "x"), gen_rtype(rng, depth), result, rng.randrange(3))
+
+
+def gen_schema(rng):
+    tvars = tuple(f"a{i}" for i in range(rng.randrange(3)))
+    return TypeSchema(tvars, gen_arrow(rng, 2))
+
+
+def gen_program(rng, depth):
+    if depth <= 0:
+        return rng.choice(
+            [
+                lambda: s.Var(_name(rng)),
+                lambda: s.BoolLit(rng.random() < 0.5),
+                lambda: s.IntLit(rng.randrange(-2, 3)),
+                lambda: s.Nil(),
+                lambda: s.Leaf(),
+                lambda: s.Impossible(),
+            ]
+        )()
+    pick = rng.randrange(10)
+    child = lambda: gen_program(rng, depth - 1)  # noqa: E731
+    if pick == 0:
+        return s.Cons(child(), child())
+    if pick == 1:
+        return s.Node(child(), child(), child())
+    if pick == 2:
+        args = tuple(child() for _ in range(rng.randrange(1, 3)))
+        return s.App(_name(rng, "f"), args)
+    if pick == 3:
+        return s.If(child(), child(), child())
+    if pick == 4:
+        return s.MatchList(child(), child(), _name(rng, "h"), _name(rng, "t"), child())
+    if pick == 5:
+        return s.MatchTree(
+            child(), child(), _name(rng, "l"), _name(rng, "v"), _name(rng, "r"), child()
+        )
+    if pick == 6:
+        return s.Let(_name(rng), child(), child())
+    if pick == 7:
+        params = tuple(_name(rng, "p") for _ in range(rng.randrange(1, 3)))
+        return rng.choice(
+            [lambda: s.Lambda(params, child()), lambda: s.Fix(_name(rng, "g"), params, child())]
+        )()
+    if pick == 8:
+        return s.Tick(rng.randrange(3), child())
+    return child()
+
+
+def gen_goal(rng):
+    names = sorted(STANDARD_COMPONENTS)
+    count = rng.randrange(len(names) + 1)
+    components = [STANDARD_COMPONENTS[name] for name in rng.sample(names, count)]
+    return SynthesisGoal.create(_name(rng, "goal"), gen_schema(rng), components)
+
+
+MODES = ("resyn", "synquid", "eac", "noninc", "constant_resource")
+
+
+def gen_overrides(rng):
+    overrides = {}
+    if rng.random() < 0.6:
+        overrides["max_arg_depth"] = rng.randrange(1, 4)
+    if rng.random() < 0.6:
+        overrides["max_match_depth"] = rng.randrange(0, 3)
+    if rng.random() < 0.4:
+        overrides["max_cond_depth"] = rng.randrange(0, 3)
+    if rng.random() < 0.4:
+        overrides["max_candidates"] = rng.randrange(10, 10_000)
+    if rng.random() < 0.3:
+        overrides["enumerate_and_check"] = rng.random() < 0.5
+    if rng.random() < 0.3:
+        overrides["timeout"] = round(rng.uniform(0.1, 60.0), 3)
+    return overrides
+
+
+def gen_config(rng):
+    return config_from_mode(rng.choice(MODES), gen_overrides(rng))
+
+
+def assert_roundtrip(value, encode, decode):
+    wire = encode(value)
+    assert json.loads(json.dumps(wire)) == wire  # strictly JSON-able
+    rebuilt = decode(wire)
+    assert rebuilt == value
+    assert encode(rebuilt) == wire  # encoding is a fixpoint
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_term_roundtrip_fuzz(seed):
+    rng = random.Random(seed)
+    for _ in range(10):
+        assert_roundtrip(gen_bool_term(rng, 3), term_to_json, term_from_json)
+        assert_roundtrip(gen_int_term(rng, 3), term_to_json, term_from_json)
+        assert_roundtrip(gen_set_term(rng, 3), term_to_json, term_from_json)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_schema_roundtrip_fuzz(seed):
+    rng = random.Random(seed)
+    for _ in range(10):
+        assert_roundtrip(gen_schema(rng), schema_to_json, schema_from_json)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_program_roundtrip_fuzz(seed):
+    rng = random.Random(seed)
+    for _ in range(10):
+        program = gen_program(rng, 4)
+        assert_roundtrip(program, program_to_json, program_from_json)
+        # The pretty-printer must agree too (cached records ship the text).
+        assert str(program_from_json(program_to_json(program))) == str(program)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_goal_roundtrip_fuzz(seed):
+    rng = random.Random(seed)
+    for _ in range(5):
+        assert_roundtrip(gen_goal(rng), goal_to_json, goal_from_json)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_config_roundtrip_fuzz(seed):
+    rng = random.Random(seed)
+    for _ in range(10):
+        assert_roundtrip(gen_config(rng), config_to_json, config_from_json)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint stability
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fingerprint_stable_under_codec_cycles(seed):
+    rng = random.Random(seed)
+    goal, config = gen_goal(rng), gen_config(rng)
+    base = job_fingerprint(goal, config)
+    cycled_goal, cycled_config = goal, config
+    for _ in range(3):
+        cycled_goal = goal_from_json(json.loads(json.dumps(goal_to_json(cycled_goal))))
+        cycled_config = config_from_json(json.loads(json.dumps(config_to_json(cycled_config))))
+        assert job_fingerprint(cycled_goal, cycled_config) == base
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_canonical_json_is_deterministic(seed):
+    rng = random.Random(seed)
+    wire = goal_to_json(gen_goal(rng))
+    # Key order must not matter: canonicalizing a reordered copy is identical.
+    reordered = json.loads(json.dumps(wire, sort_keys=True))
+    assert canonical_json(wire) == canonical_json(reordered)
+
+
+# ---------------------------------------------------------------------------
+# Wire-config decoding (the server's config entry point)
+# ---------------------------------------------------------------------------
+
+
+class TestConfigFromWire:
+    def test_empty_defaults_to_resyn(self):
+        from repro.core import SynthesisConfig
+
+        assert config_from_wire(None) == SynthesisConfig.resyn()
+        assert config_from_wire({}) == SynthesisConfig.resyn()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mode_shape_matches_config_from_mode(self, seed):
+        rng = random.Random(seed)
+        mode, overrides = rng.choice(MODES), gen_overrides(rng)
+        wire = {"mode": mode, "overrides": overrides}
+        assert config_from_wire(wire) == config_from_mode(mode, overrides)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_explicit_shape_matches_config_from_json(self, seed):
+        rng = random.Random(seed)
+        wire = config_to_json(gen_config(rng))
+        assert config_from_wire(wire) == config_from_json(wire)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(CodecError):
+            config_from_wire("resyn")
+        with pytest.raises(CodecError):
+            config_from_wire({"mode": "resyn", "max_arg_depth": 2})
+        with pytest.raises(CodecError):
+            config_from_wire({"mode": "no-such-mode"})
+        with pytest.raises(CodecError):
+            config_from_wire({"no_such_field": 1})
+
+
+# ---------------------------------------------------------------------------
+# Spec files round-trip through disk
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("table", ["table1", "table2"])
+def test_spec_write_load_roundtrip(table, tmp_path):
+    spec = export_table_spec(table)
+    path = tmp_path / f"{table}.json"
+    write_spec(spec, str(path))
+    loaded = load_spec(str(path))
+    assert loaded == spec
+    original = jobs_from_spec(spec, include_slow=True)
+    reloaded = jobs_from_spec(loaded, include_slow=True)
+    assert [job.fingerprint for job in reloaded] == [job.fingerprint for job in original]
+    assert [job.tag for job in reloaded] == [job.tag for job in original]

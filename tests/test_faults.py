@@ -22,51 +22,7 @@ from repro.service.scheduler import (
     job_for_goal,
 )
 
-from test_service import tiny_config, tiny_goal
-
-
-@pytest.fixture(autouse=True)
-def _inert_faults(monkeypatch):
-    """Every test starts and ends with no fault plan installed."""
-    monkeypatch.delenv(faults.ENV_SPEC, raising=False)
-    monkeypatch.delenv(faults.ENV_SEED, raising=False)
-    faults.configure(None)
-    yield
-    faults.configure(None)
-
-
-def tiny_jobs(count: int = 2, timeout=None, retries=None):
-    """Distinct cheap jobs (distinct fingerprints, so no in-batch dedup)."""
-    return [
-        job_for_goal(
-            tiny_goal(f"isEmpty{i}"), tiny_config(), timeout=timeout, retries=retries
-        )
-        for i in range(count)
-    ]
-
-
-#: Record fields that legitimately differ between byte-identical runs:
-#: wall-clock, process placement, cache bookkeeping, and the solver "stats"
-#: blob, whose cache-hit counters depend on how warm the executing *process*
-#: already was (a forked worker inherits the parent's caches) rather than on
-#: what the job computed.  Everything else — the program, its size, and the
-#: search counters — must match exactly.
-_RUN_LOCAL_FIELDS = frozenset({"seconds", "worker_pid", "stored_at", "fingerprint", "stats"})
-
-
-def canon(record):
-    """A record minus its run-local fields — the byte-identity comparand."""
-    assert record is not None
-    return {key: value for key, value in record.items() if key not in _RUN_LOCAL_FIELDS}
-
-
-def records_of(results):
-    return [canon(result.record) for result in results]
-
-
-def baseline_records(jobs):
-    """Fault-free serial reference records for ``jobs``."""
-    return records_of(BatchScheduler(workers=1).run(jobs))
+from conftest import baseline_records, canon, records_of, tiny_config, tiny_goal, tiny_jobs
 
 
 # ---------------------------------------------------------------------------
@@ -419,9 +375,10 @@ class TestFailureResults:
         assert all(r.program is None and "service_failure" in r.stats for r in results)
 
     def test_queue_seconds_zero_under_spawn_clock_domain(self):
-        payload = BatchScheduler._payload(tiny_jobs(1)[0], clock_shared=False)
+        scheduler = BatchScheduler(workers=0)
+        payload = scheduler._payload(tiny_jobs(1)[0], clock_shared=False)
         assert "submitted" not in payload
-        shared = BatchScheduler._payload(tiny_jobs(1)[0], clock_shared=True)
+        shared = scheduler._payload(tiny_jobs(1)[0], clock_shared=True)
         assert "submitted" in shared
 
     @pytest.mark.skipif(

@@ -44,25 +44,9 @@ from repro.service.specs import (
     validate_spec,
     write_spec,
 )
-from repro.typing.types import TypeSchema, arrow, bool_type, list_type, tvar_type
+from repro.typing.types import TypeSchema, arrow, bool_type
 
-
-def tiny_goal(name: str = "isEmpty") -> SynthesisGoal:
-    """The cheapest synthesizable goal (is-empty check, <50ms)."""
-    xs = t.data_var("xs")
-    schema = TypeSchema(
-        ("a",),
-        arrow(
-            ("xs", list_type(tvar_type("a", potential=t.ONE))),
-            bool_type(t.Iff(t.Var("_v", t.BOOL), t.len_(xs).eq(0))),
-        ),
-    )
-    return SynthesisGoal.create(name, schema, library())
-
-
-def tiny_config() -> SynthesisConfig:
-    return SynthesisConfig.resyn(max_arg_depth=1, max_match_depth=1, max_cond_depth=0)
-
+from conftest import tiny_config, tiny_goal
 
 ALL_BENCHMARKS = table1_benchmarks() + table2_benchmarks()
 
