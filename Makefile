@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke serve-smoke chaos-smoke profile
+.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke serve-smoke chaos-smoke pbe-smoke profile
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
@@ -63,6 +63,19 @@ service-smoke:
 serve-smoke:
 	rm -rf /tmp/resyn-serve-cache
 	$(PYTHON) benchmarks/check_serve.py --spec specs/table1.json --cache /tmp/resyn-serve-cache
+
+## What the CI pbe-smoke job runs: the example-driven suite cold through the
+## service (2 workers), a warm rerun that must be 100% cache hits, then
+## benchmarks/check_pbe.py verifies spec freshness, program identity across
+## runs, the grammar-pruning eterm_checks reduction, and that every solved
+## program satisfies every example by direct interpretation.
+pbe-smoke:
+	rm -rf /tmp/resyn-pbe-cache
+	$(PYTHON) -m repro.service run specs/pbe_suite.json -j 2 \
+	  --cache /tmp/resyn-pbe-cache --json /tmp/pbe-cold.json
+	$(PYTHON) -m repro.service run specs/pbe_suite.json -j 2 \
+	  --cache /tmp/resyn-pbe-cache --expect-all-hits --json /tmp/pbe-warm.json
+	$(PYTHON) benchmarks/check_pbe.py /tmp/pbe-cold.json /tmp/pbe-warm.json
 
 ## What the CI chaos-smoke job runs: the Table 1 spec under deterministic
 ## fault injection (worker crashes + hangs, torn cache writes, read

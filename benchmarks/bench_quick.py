@@ -23,6 +23,12 @@ speedup over the serial loop, asserting on the way that the scheduler's
 programs are byte-identical to the serial ones.  Every RNG the suite touches
 is seeded explicitly up front, so reports are bit-reproducible on one machine.
 
+A ``pbe`` block runs the committed example-driven suite
+(:mod:`repro.pbe.suite`): per-goal wall-clock, program and ``eterm_checks``,
+interpreter re-verification of every program against its examples, the
+restricted-vs-unrestricted ``eterm_checks`` A/B for the grammar-demo rows,
+and cold/warm cache counters for the suite through the batch scheduler.
+
 ``benchmarks/check_regression.py`` compares a fresh report against the
 committed one (CI fails on >25% wall-clock regression or any program drift).
 ``total_seconds`` remains the *serial* wall-clock, so timing comparisons stay
@@ -133,6 +139,7 @@ def run_quick() -> dict:
         report["phases"] = export.phase_block()
         dump_trace_artifacts()
     report["service"] = run_service(rows)
+    report["pbe"] = run_pbe()
     return report
 
 
@@ -207,6 +214,100 @@ def run_service(serial_rows: list) -> dict:
     }
 
 
+def run_pbe() -> dict:
+    """PBE workload block: solve the committed example-driven suite.
+
+    Every solved program is re-verified against its examples by direct
+    interpretation (``examples_ok``), the grammar-restricted rows are A/B'd
+    against unrestricted twins (``unrestricted_eterm_checks`` must be
+    strictly larger — the pruning happens before candidates are built), and
+    the whole suite is driven through the batch scheduler cold and warm to
+    record the cache counters of the PBE workload class.
+    """
+    from repro.pbe.check import check_program_on_examples
+    from repro.pbe.suite import pbe_benchmarks, pbe_spec, unrestricted
+    from repro.service.cache import open_cache
+    from repro.service.specs import jobs_from_spec
+
+    rows = []
+    total = 0.0
+    for bench in pbe_benchmarks():
+        goal = bench.goal
+        start = time.perf_counter()
+        result = synthesize(goal, bench.config())
+        seconds = time.perf_counter() - start
+        total += seconds
+        examples_ok = result.program is not None and check_program_on_examples(
+            result.program, goal.examples, goal.component_builtins()
+        )
+        row = {
+            "benchmark": bench.key,
+            "seconds": round(seconds, 4),
+            "succeeded": result.succeeded,
+            "examples_ok": bool(examples_ok),
+            "program": str(result.program) if result.program else None,
+            "eterm_checks": int(result.stats.get("eterm_checks", 0)),
+            "example_checks": int(result.stats.get("example_checks", 0)),
+            "example_rejections": int(result.stats.get("example_rejections", 0)),
+        }
+        if bench.grammar_demo:
+            free = synthesize(unrestricted(goal), bench.config())
+            row["unrestricted_eterm_checks"] = int(free.stats.get("eterm_checks", 0))
+        rows.append(row)
+
+    # Cold + warm scheduler pass over the suite: the cold run populates a
+    # fresh cache, the warm rerun must be served entirely from it.
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-pbe-cache-")
+    try:
+        cold_cache = open_cache(cache_dir)
+        cold_scheduler = BatchScheduler(workers=2, cache=cold_cache)
+        start = time.perf_counter()
+        cold_scheduler.run(jobs_from_spec(pbe_spec()))
+        cold_wall = time.perf_counter() - start
+
+        warm_cache = open_cache(cache_dir)
+        warm_scheduler = BatchScheduler(workers=2, cache=warm_cache)
+        start = time.perf_counter()
+        warm_scheduler.run(jobs_from_spec(pbe_spec()))
+        warm_wall = time.perf_counter() - start
+        if warm_scheduler.stats.synth_runs:
+            raise AssertionError(
+                f"warm PBE rerun invoked the synthesizer "
+                f"{warm_scheduler.stats.synth_runs} times "
+                "(example goals must be fully fingerprinted)"
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return {
+        "goals": len(rows),
+        "solved": sum(1 for row in rows if row["succeeded"]),
+        "examples_ok": sum(1 for row in rows if row["examples_ok"]),
+        "total_seconds": round(total, 4),
+        "eterm_checks": sum(row["eterm_checks"] for row in rows),
+        "rows": rows,
+        "cache": {
+            "workers": 2,
+            "cold": {
+                "wall_seconds": round(cold_wall, 4),
+                "synth_runs": cold_scheduler.stats.synth_runs,
+                "hits": cold_cache.stats.hits,
+                "misses": cold_cache.stats.misses,
+                "stores": cold_cache.stats.stores,
+            },
+            "warm": {
+                "wall_seconds": round(warm_wall, 4),
+                "synth_runs": warm_scheduler.stats.synth_runs,
+                "hits": warm_cache.stats.hits,
+                "misses": warm_cache.stats.misses,
+            },
+        },
+    }
+
+
 def main() -> None:
     out_path = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO_ROOT, "BENCH_synthesis.json")
     report = run_quick()
@@ -220,6 +321,12 @@ def main() -> None:
     print(
         f"  service: {service['jobs']} jobs on {service['workers']} workers "
         f"in {service['parallel_seconds']:.2f}s (speedup {service['speedup']:.2f}x)"
+    )
+    pbe = report["pbe"]
+    print(
+        f"  pbe: {pbe['solved']}/{pbe['goals']} solved "
+        f"({pbe['examples_ok']} example-verified) in {pbe['total_seconds']:.2f}s, "
+        f"warm rerun {pbe['cache']['warm']['hits']} cache hits"
     )
 
 

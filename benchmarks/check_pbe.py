@@ -1,0 +1,150 @@
+"""CI guard for the PBE suite (the ``pbe-smoke`` job).
+
+Validates the cold and warm ``--json`` reports of two back-to-back service
+runs over ``specs/pbe_suite.json`` and enforces the PBE front-end's
+contracts:
+
+* the committed spec is a fresh export of :func:`repro.pbe.suite.pbe_spec`
+  (no drift between the Python suite and the committed JSON);
+* the cold run solved every goal (status ``ok``, a program on every row);
+* the warm run returned byte-identical programs, was served entirely from
+  the cache (100% hits, zero synthesizer invocations), and reported every
+  job as a hit;
+* every solved program — re-synthesized in-process and asserted
+  byte-identical to the service's program text — satisfies every example of
+  its goal by direct interpretation (:func:`repro.pbe.check`);
+* the grammar-demo rows show strictly fewer ``eterm_checks`` than their
+  unrestricted twins (the restriction prunes the enumeration itself).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_pbe.py COLD.json WARM.json \
+        [--spec specs/pbe_suite.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.core import synthesize  # noqa: E402
+from repro.pbe.check import check_program_on_examples, failing_examples  # noqa: E402
+from repro.pbe.suite import pbe_benchmarks, pbe_spec, unrestricted  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("cold", help="--json report of the cold service run")
+    parser.add_argument("warm", help="--json report of the warm rerun")
+    parser.add_argument(
+        "--spec",
+        default=os.path.join(REPO_ROOT, "specs", "pbe_suite.json"),
+        help="committed spec to check for export drift",
+    )
+    args = parser.parse_args()
+
+    with open(args.cold) as handle:
+        cold = json.load(handle)
+    with open(args.warm) as handle:
+        warm = json.load(handle)
+
+    failures = []
+
+    # 1. Committed spec freshness.
+    with open(args.spec) as handle:
+        committed = json.load(handle)
+    if committed != pbe_spec():
+        failures.append(
+            f"{args.spec} is stale: regenerate with `python -m repro.service export pbe`"
+        )
+
+    # 2. Cold run: every goal solved.
+    cold_programs = {}
+    for row in cold["results"]:
+        key = row["tag"].split("/", 1)[0]
+        if row["status"] not in ("ok", "hit", "dedup"):
+            failures.append(f"cold run: {row['tag']} finished {row['status']!r}, expected ok")
+        if not row["program"]:
+            failures.append(f"cold run: {row['tag']} produced no program")
+        cold_programs[key] = row["program"]
+
+    # 3. Warm run: byte-identical programs, zero synthesis, 100% hits.
+    for row in warm["results"]:
+        key = row["tag"].split("/", 1)[0]
+        if row["status"] != "hit":
+            failures.append(f"warm run: {row['tag']} was {row['status']!r}, expected a cache hit")
+        if row["program"] != cold_programs.get(key):
+            failures.append(
+                f"warm run: {row['tag']} program drifted from the cold run: "
+                f"{cold_programs.get(key)!r} != {row['program']!r}"
+            )
+    warm_sched = warm["scheduler"]
+    if warm_sched.get("synth_runs"):
+        failures.append(
+            f"warm run invoked the synthesizer {warm_sched['synth_runs']} times "
+            "(expected a fully warm cache)"
+        )
+    if warm_sched.get("cache_hits") != len(warm["results"]):
+        failures.append(
+            f"warm run: {warm_sched.get('cache_hits')} cache hits for "
+            f"{len(warm['results'])} jobs (expected 100%)"
+        )
+
+    # 4. Example satisfaction by direct interpretation, plus the grammar A/B.
+    checked = 0
+    for bench in pbe_benchmarks():
+        goal = bench.goal
+        result = synthesize(goal, bench.config())
+        if result.program is None:
+            failures.append(f"{bench.key}: in-process synthesis found no program")
+            continue
+        service_text = cold_programs.get(bench.key)
+        if service_text != str(result.program):
+            failures.append(
+                f"{bench.key}: service program differs from in-process synthesis: "
+                f"{service_text!r} != {str(result.program)!r}"
+            )
+        builtins = goal.component_builtins()
+        if not check_program_on_examples(result.program, goal.examples, builtins):
+            bad = failing_examples(result.program, goal.examples, builtins)
+            failures.append(
+                f"{bench.key}: program {result.program} fails "
+                f"{len(bad)}/{len(goal.examples)} examples: "
+                + "; ".join(f"{e.inputs!r} -> {e.output!r}" for e in bad)
+            )
+        else:
+            checked += 1
+        if bench.grammar_demo:
+            free = synthesize(unrestricted(goal), bench.config())
+            restricted = int(result.stats.get("eterm_checks", 0))
+            open_checks = int(free.stats.get("eterm_checks", 0))
+            if restricted >= open_checks:
+                failures.append(
+                    f"{bench.key}: grammar restriction did not reduce eterm_checks "
+                    f"({restricted} restricted vs {open_checks} unrestricted)"
+                )
+            else:
+                print(
+                    f"  {bench.key}: grammar pruning {open_checks} -> {restricted} eterm_checks"
+                )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"pbe smoke OK: {checked} programs verified against their examples, "
+        f"warm rerun 100% cache hits ({warm_sched.get('cache_hits')} jobs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,11 @@ report and fails (exit code 1) when
 * any synthesized program differs from the baseline — byte-identity is the
   strongest regression signal the suite has: the search is deterministic
   and verdict-driven, so programs are machine-independent;
+* any PBE-suite program differs from the baseline, a program stops
+  satisfying its examples, a grammar-demo row loses its strict
+  restricted-vs-unrestricted ``eterm_checks`` reduction, or a row's
+  ``eterm_checks`` drifts past the counter tolerance (reports without a
+  ``pbe`` block are skipped silently);
 * any deterministic solver counter (the report's ``counters`` block:
   LIA queries/eliminations/cores, SAT decisions/conflicts, ...) drifts by
   more than the counter tolerance — these are also machine-independent, so
@@ -125,6 +130,43 @@ def main() -> int:
             failures.append(
                 f"counter regression: {name} {base_value} -> {fresh_value} "
                 f"(tolerance {args.counter_tolerance:.2f}x)"
+            )
+
+    # PBE suite (reports since the PBE front-end landed): programs are guarded
+    # byte-identically like the Table 1 rows, per-row eterm_checks like the
+    # deterministic counters, and the grammar-demo rows must keep their strict
+    # restricted < unrestricted reduction.  Older baselines have no pbe block;
+    # skip silently in that case.
+    base_pbe = {row["benchmark"]: row for row in (baseline.get("pbe") or {}).get("rows", [])}
+    fresh_pbe = {row["benchmark"]: row for row in (fresh.get("pbe") or {}).get("rows", [])}
+    for benchmark in sorted(base_pbe):
+        base_row = base_pbe[benchmark]
+        fresh_row = fresh_pbe.get(benchmark)
+        if fresh_row is None:
+            failures.append(f"pbe benchmark {benchmark!r}: row missing from fresh report")
+            continue
+        if fresh_row["program"] != base_row["program"]:
+            failures.append(
+                f"program drift in pbe benchmark {benchmark!r}:\n"
+                + program_diff(benchmark, "pbe", base_row["program"], fresh_row["program"])
+            )
+        if not fresh_row.get("examples_ok"):
+            failures.append(f"pbe benchmark {benchmark!r}: program no longer satisfies its examples")
+        if not args.no_counters:
+            base_checks = int(base_row.get("eterm_checks", 0))
+            fresh_checks = int(fresh_row.get("eterm_checks", 0))
+            if fresh_checks > base_checks * args.counter_tolerance + 1:
+                failures.append(
+                    f"counter regression: pbe {benchmark} eterm_checks "
+                    f"{base_checks} -> {fresh_checks} "
+                    f"(tolerance {args.counter_tolerance:.2f}x)"
+                )
+        unrestricted = fresh_row.get("unrestricted_eterm_checks")
+        if unrestricted is not None and int(unrestricted) <= int(fresh_row["eterm_checks"]):
+            failures.append(
+                f"pbe benchmark {benchmark!r}: grammar restriction no longer reduces "
+                f"eterm_checks ({fresh_row['eterm_checks']} restricted vs "
+                f"{unrestricted} unrestricted)"
             )
 
     # Phase tables (traced runs only): span counts are deterministic counters

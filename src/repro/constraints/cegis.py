@@ -121,6 +121,10 @@ class CegisSolver:
         self.max_rounds = max_rounds
         self.solution: Dict[str, int] = {}
         self.examples: List[Example] = []
+        #: Ground examples installed by :meth:`seed` (the PBE front-end feeds
+        #: goal inputs here); they survive :meth:`reset` and non-incremental
+        #: restarts, unlike discovered counterexamples.
+        self._seed_examples: List[Example] = []
         self.stats = CegisStats()
         #: (constraint, example.key) -> grounded linear constraints; grounding
         #: does not depend on the current solution (coefficients stay
@@ -149,10 +153,24 @@ class CegisSolver:
             "cegis_ground_cache_size": len(self._ground_cache),
         }
 
+    def seed(self, examples: Sequence[Example]) -> None:
+        """Install persistent ground examples (PBE inputs, Sec. "seeding").
+
+        Seeded examples are ground instances of constraints that must hold
+        for *all* inputs, so adding them is always sound; they front-load the
+        inputs the caller cares about into every synthesis query.  Unlike
+        discovered counterexamples they are re-installed by :meth:`reset`, so
+        they constrain every candidate the synthesizer checks, not just the
+        one being checked when they were added.
+        """
+        self._seed_examples = list(examples)
+        existing = {e.key for e in self.examples}
+        self.examples = [e for e in self._seed_examples if e.key not in existing] + self.examples
+
     def reset(self) -> None:
-        """Forget the accumulated solution and examples."""
+        """Forget the accumulated solution and examples (seeds are kept)."""
         self.solution = {}
-        self.examples = []
+        self.examples = list(self._seed_examples)
         self._ground_cache.clear()
         if len(self._inst_cache) > (1 << 14):
             self._inst_cache.clear()
@@ -168,7 +186,7 @@ class CegisSolver:
             # The ablation mode of Table 2 (T-NInc): start from scratch.
             self.stats.restarts += 1
             self.solution = {}
-            self.examples = []
+            self.examples = list(self._seed_examples)
         coeffs = sorted({c for rc in constraints for c in coefficients_in(rc.expr)})
         for name in coeffs:
             self.solution.setdefault(name, 0)

@@ -3,6 +3,12 @@
 A synthesis goal packages the name of the function being synthesized, its Re2
 goal type (refinements + resource bound), and the component library — exactly
 the inputs that ReSyn takes (Sec. 1, "The ReSyn Synthesizer").
+
+:class:`ExampleGoal` is the PBE/SyGuS goal kind: the same Re2 goal type plus
+typed input-output examples (and an optional grammar restriction on the
+enumerator).  Examples are part of the goal's identity — they enter the wire
+encoding and therefore the job fingerprint — and are held in a canonical
+order, so two goals with the same examples never disagree on either.
 """
 
 from __future__ import annotations
@@ -56,6 +62,49 @@ class SynthesisGoal:
         from repro.service.fingerprint import job_fingerprint
 
         return job_fingerprint(self, config or SynthesisConfig.resyn())
+
+
+@dataclass(frozen=True)
+class ExampleGoal(SynthesisGoal):
+    """A PBE goal: a synthesis goal constrained by input-output examples.
+
+    ``examples`` is a tuple of :class:`repro.pbe.examples.IOExample`; it is
+    normalized into canonical order at construction, so example order never
+    affects goal equality, wire encodings or cache fingerprints.  ``grammar``
+    optionally restricts the enumerator's productions per hole
+    (:class:`repro.pbe.grammar.Grammar`); ``None`` leaves the search
+    unrestricted.
+    """
+
+    examples: tuple = ()
+    grammar: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        from repro.pbe.examples import canonical_example_key
+
+        ordered = tuple(sorted(self.examples, key=canonical_example_key))
+        if ordered != self.examples:
+            object.__setattr__(self, "examples", ordered)
+        body = self.schema.body
+        assert isinstance(body, ArrowType)
+        arity = len(body.params())
+        for example in self.examples:
+            if len(example.inputs) != arity:
+                raise ValueError(
+                    f"example {example} has {len(example.inputs)} inputs; "
+                    f"goal {self.name!r} takes {arity}"
+                )
+
+    @staticmethod
+    def create_with_examples(
+        name: str,
+        schema: TypeSchema,
+        components: Sequence[Component],
+        examples: Sequence,
+        grammar: Optional[object] = None,
+    ) -> "ExampleGoal":
+        return ExampleGoal(name, schema, tuple(components), tuple(examples), grammar)
 
 
 @dataclass

@@ -119,6 +119,20 @@ class Synthesizer:
         self.candidates_checked = 0
         self._deadline: Optional[float] = None
         self._fresh = itertools.count()
+        # PBE front-end state (both None/empty for plain goals, so the paper's
+        # workload pays nothing for the example machinery).
+        self._examples = tuple(getattr(goal, "examples", ()) or ())
+        self._grammar = getattr(goal, "grammar", None)
+        self._example_checks = 0
+        self._example_rejections = 0
+        if self._examples:
+            from repro.pbe.seeding import cegis_seed_examples
+
+            self._builtins = goal.component_builtins()
+            # Ground the example inputs into the CEGIS solver before its
+            # first verification query; reset() re-installs them between
+            # candidates (see CegisSolver.seed).
+            self.cegis.seed(cegis_seed_examples(self.schema, self._examples))
 
     # ------------------------------------------------------------------
     # Entry points
@@ -198,15 +212,46 @@ class Synthesizer:
                 ) if cores else 0.0,
             }
         )
+        if self._examples:
+            # PBE-only counters; plain goals keep their stats dict unchanged.
+            report.update(
+                {
+                    "example_checks": self._example_checks,
+                    "example_rejections": self._example_rejections,
+                    "examples": len(self._examples),
+                }
+            )
         return report
 
     def _programs(self) -> Iterator[s.Fix]:
-        """Generator of complete programs satisfying the goal (lazily)."""
+        """Generator of complete programs satisfying the goal (lazily).
+
+        For PBE goals every complete program is additionally run on the
+        goal's input-output examples through the interpreter; programs that
+        get any example wrong are rejected and the search resumes.  This is
+        the functional half of the PBE loop (the resource half rides on the
+        CEGIS seeds installed in ``__init__``).
+        """
         ctx, result_type = self.checker.initial_context(self.goal.name, self.schema)
         params = self.goal.param_names()
         depths = (self.config.max_match_depth, self.config.max_cond_depth)
         for body in self._solutions(ctx, result_type, *depths):
-            yield s.Fix(self.goal.name, params, body)
+            program = s.Fix(self.goal.name, params, body)
+            if self._examples and not self._satisfies_examples(program):
+                continue
+            yield program
+
+    def _satisfies_examples(self, program: s.Fix) -> bool:
+        from repro.pbe.check import check_program_on_examples
+
+        self._example_checks += 1
+        with trace.span("synth.examples") as sp:
+            accepted = check_program_on_examples(program, self._examples, self._builtins)
+            if sp:
+                sp.set(program=str(program), accepted=accepted)
+        if not accepted:
+            self._example_rejections += 1
+        return accepted
 
     def _enumerate_and_check(self) -> Optional[s.Fix]:
         """The naive combination (T-EAC): functional synthesis, then analysis."""
@@ -362,19 +407,28 @@ class Synthesizer:
     def _terms_of_base(
         self, ctx: Context, base: BaseType, depth: int, allow_recursion: bool
     ) -> List[s.Expr]:
+        # SyGuS-style grammar restriction: the rule for this hole's base kind
+        # gates whole production families *before* candidates are built, so a
+        # restriction shrinks the enumeration itself (strictly fewer
+        # eterm_checks), not just the accepted set.  Plain goals have no
+        # grammar and take the unrestricted defaults.
+        rule = self._grammar.rule_for_base(base) if self._grammar is not None else None
         results: List[s.Expr] = []
         # Variables in scope.
-        for name, rtype in ctx.bindings:
-            if name.startswith(("g#", "b#")):
-                continue
-            if self._base_shapes_match(rtype.base, base):
-                results.append(s.Var(name))
+        if rule is None or rule.variables:
+            for name, rtype in ctx.bindings:
+                if name.startswith(("g#", "b#")):
+                    continue
+                if self._base_shapes_match(rtype.base, base):
+                    results.append(s.Var(name))
         # Literals and constructors.
-        if isinstance(base, BoolBase):
+        allow_literals = rule is None or rule.literals
+        allow_constructors = rule is None or rule.constructors
+        if isinstance(base, BoolBase) and allow_literals:
             results.extend([s.BoolLit(True), s.BoolLit(False)])
-        if isinstance(base, (IntBase, TypeVarBase)):
+        if isinstance(base, (IntBase, TypeVarBase)) and allow_literals:
             results.append(s.IntLit(0))
-        if isinstance(base, ListBase):
+        if isinstance(base, ListBase) and allow_constructors:
             results.append(s.Nil())
             if depth > 1:
                 heads = self._terms_of_base(ctx, base.elem.base, depth - 1, allow_recursion)
@@ -382,7 +436,7 @@ class Synthesizer:
                 for head in heads:
                     for tail in tails:
                         results.append(s.Cons(head, tail))
-        if isinstance(base, TreeBase):
+        if isinstance(base, TreeBase) and allow_constructors:
             results.append(s.Leaf())
         # Applications.
         if depth > 1:
@@ -392,13 +446,16 @@ class Synthesizer:
     def _application_candidates(
         self, ctx: Context, base: BaseType, depth: int, allow_recursion: bool
     ) -> List[s.Expr]:
+        rule = self._grammar.rule_for_base(base) if self._grammar is not None else None
         results: List[s.Expr] = []
         callees: List[Tuple[str, ArrowType]] = []
         for component in self.goal.components:
+            if rule is not None and not rule.allows_component(component.name):
+                continue
             body = component.schema.body
             if isinstance(body, ArrowType):
                 callees.append((component.name, body))
-        if allow_recursion and ctx.fix is not None:
+        if allow_recursion and ctx.fix is not None and (rule is None or rule.recursion):
             callees.append((ctx.fix.name, ctx.fix.arrow))
         for name, arrow_type in callees:
             result = arrow_type.final_result()

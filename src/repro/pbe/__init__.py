@@ -1,0 +1,52 @@
+"""Programming-by-Example / SyGuS front-end.
+
+This package compiles example-driven synthesis problems into the existing
+resource-guided pipeline instead of building a solver beside it:
+
+* :mod:`repro.pbe.examples` — typed input-output examples
+  (:class:`~repro.pbe.examples.IOExample`) with a canonical JSON encoding,
+  so examples can live in declarative specs and job fingerprints;
+* :mod:`repro.pbe.grammar` — SyGuS-style production-rule restrictions
+  (:class:`~repro.pbe.grammar.Grammar`) applied per-hole inside the
+  enumerator, pruning the component library before candidates are built;
+* :mod:`repro.pbe.seeding` — compilation of examples into ground
+  :class:`~repro.constraints.cegis.Example` instances seeded into the CEGIS
+  solver before its first verification query;
+* :mod:`repro.pbe.check` — direct interpretation of candidate programs on
+  the examples (the functional acceptance test of the PBE loop);
+* :mod:`repro.pbe.suite` — the committed ``specs/pbe_suite.json`` benchmark
+  family (imported explicitly; it depends on :mod:`repro.core`).
+
+The goal class itself (:class:`repro.core.goals.ExampleGoal`) lives with the
+other goal kinds in :mod:`repro.core.goals`; this package holds everything
+example-specific so that the core engine pays nothing when no examples are
+present.
+"""
+
+from repro.pbe.check import check_program_on_examples, failing_examples
+from repro.pbe.examples import (
+    IOExample,
+    example_from_json,
+    example_to_json,
+    value_from_json,
+    value_to_json,
+    values_equal,
+)
+from repro.pbe.grammar import Grammar, ProductionRule, grammar_from_json, grammar_to_json
+from repro.pbe.seeding import cegis_seed_examples
+
+__all__ = [
+    "IOExample",
+    "Grammar",
+    "ProductionRule",
+    "cegis_seed_examples",
+    "check_program_on_examples",
+    "example_from_json",
+    "example_to_json",
+    "failing_examples",
+    "grammar_from_json",
+    "grammar_to_json",
+    "value_from_json",
+    "value_to_json",
+    "values_equal",
+]

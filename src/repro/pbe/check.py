@@ -1,0 +1,59 @@
+"""Checking candidate programs against input-output examples.
+
+The functional acceptance test of the PBE loop: a complete candidate program
+is run on every example's inputs through the cost-semantics interpreter
+(:func:`repro.semantics.interpreter.run_on_inputs`) and must reproduce every
+output under type-aware equality (:func:`repro.pbe.examples.values_equal`).
+Any dynamic error — unbound variables, reaching ``impossible``, ill-typed
+builtin application, running out of fuel — counts as a failed example, not a
+crash: the synthesizer simply moves on to the next candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.lang import syntax as s
+from repro.pbe.examples import IOExample, values_equal
+from repro.semantics.interpreter import EvaluationError, OutOfFuel, run_on_inputs
+from repro.semantics.values import Builtin
+
+#: Step budget per example evaluation.  Candidate programs are small and the
+#: example inputs are tiny, so anything that runs this long is divergent.
+EXAMPLE_FUEL = 100_000
+
+
+def failing_examples(
+    program: s.Expr,
+    examples: Sequence[IOExample],
+    builtins: Dict[str, Builtin],
+    fuel: int = EXAMPLE_FUEL,
+) -> List[IOExample]:
+    """The examples ``program`` gets wrong (empty list = all satisfied)."""
+    failures: List[IOExample] = []
+    for example in examples:
+        try:
+            result = run_on_inputs(program, example.inputs, env=builtins, fuel=fuel)
+        except (EvaluationError, OutOfFuel):
+            failures.append(example)
+            continue
+        if not values_equal(result.value, example.output):
+            failures.append(example)
+    return failures
+
+
+def check_program_on_examples(
+    program: s.Expr,
+    examples: Sequence[IOExample],
+    builtins: Dict[str, Builtin],
+    fuel: int = EXAMPLE_FUEL,
+) -> bool:
+    """Whether ``program`` reproduces every example output."""
+    for example in examples:
+        try:
+            result = run_on_inputs(program, example.inputs, env=builtins, fuel=fuel)
+        except (EvaluationError, OutOfFuel):
+            return False
+        if not values_equal(result.value, example.output):
+            return False
+    return True

@@ -1,0 +1,137 @@
+"""Typed input-output examples for PBE goals.
+
+An :class:`IOExample` records one observation of the target function: a tuple
+of concrete input values (one per goal parameter) and the expected output.
+Values are the interpreter's runtime values (:mod:`repro.semantics.values`):
+Python ints and bools, tuples for lists, and :class:`~repro.semantics.values.VTree`
+for trees.
+
+Examples are wire-codable (they travel inside goal encodings, specs and job
+fingerprints), so they carry a canonical JSON form: :func:`example_to_json`
+is deterministic, and :func:`canonical_example_key` gives the sort key under
+which :class:`repro.core.goals.ExampleGoal` normalizes example order — two
+goals with the same examples in different order encode (and therefore
+fingerprint) identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.semantics.values import LEAF, Value, VTree
+
+
+class ExampleError(ValueError):
+    """Raised when an example value cannot be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+def value_to_json(value: Value) -> dict:
+    """Encode a runtime value (bool is checked before int: bool <: int)."""
+    if isinstance(value, bool):
+        return {"t": "bool", "value": value}
+    if isinstance(value, int):
+        return {"t": "int", "value": value}
+    if isinstance(value, tuple):
+        return {"t": "list", "items": [value_to_json(item) for item in value]}
+    if isinstance(value, VTree):
+        if value.is_leaf:
+            return {"t": "leaf"}
+        return {
+            "t": "node",
+            "left": value_to_json(value.left),
+            "value": value_to_json(value.value),
+            "right": value_to_json(value.right),
+        }
+    raise ExampleError(f"cannot encode example value of type {type(value).__name__}")
+
+
+def value_from_json(data: dict) -> Value:
+    tag = data.get("t")
+    if tag == "bool":
+        return bool(data["value"])
+    if tag == "int":
+        return int(data["value"])
+    if tag == "list":
+        return tuple(value_from_json(item) for item in data["items"])
+    if tag == "leaf":
+        return LEAF
+    if tag == "node":
+        return VTree(
+            value_from_json(data["left"]),
+            value_from_json(data["value"]),
+            value_from_json(data["right"]),
+        )
+    raise ExampleError(f"unknown example-value tag {tag!r}")
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """Type-aware value equality (``True != 1``, unlike Python's ``==``)."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) and left == right
+    if isinstance(left, tuple) and isinstance(right, tuple):
+        return len(left) == len(right) and all(
+            values_equal(a, b) for a, b in zip(left, right)
+        )
+    if isinstance(left, VTree) and isinstance(right, VTree):
+        if left.is_leaf or right.is_leaf:
+            return left.is_leaf and right.is_leaf
+        return (
+            values_equal(left.left, right.left)
+            and values_equal(left.value, right.value)
+            and values_equal(left.right, right.right)
+        )
+    if type(left) is not type(right):
+        return False
+    return left == right
+
+
+# ---------------------------------------------------------------------------
+# Examples
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IOExample:
+    """One input-output observation of the goal function."""
+
+    inputs: tuple
+    output: Value
+
+    @staticmethod
+    def create(inputs: Sequence[Value], output: Value) -> "IOExample":
+        return IOExample(tuple(inputs), output)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.inputs)
+        return f"({rendered}) -> {self.output!r}"
+
+
+def example_to_json(example: IOExample) -> dict:
+    return {
+        "inputs": [value_to_json(v) for v in example.inputs],
+        "output": value_to_json(example.output),
+    }
+
+
+def example_from_json(data: dict) -> IOExample:
+    return IOExample(
+        tuple(value_from_json(v) for v in data["inputs"]),
+        value_from_json(data["output"]),
+    )
+
+
+def canonical_example_key(example: IOExample) -> str:
+    """The canonical sort key: the example's deterministic JSON serialization.
+
+    :class:`repro.core.goals.ExampleGoal` sorts its examples under this key,
+    which is what makes example order irrelevant to goal equality, wire
+    encodings and job fingerprints.
+    """
+    return json.dumps(example_to_json(example), sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,162 @@
+"""SyGuS-style grammar restrictions on the e-term enumerator.
+
+A SyGuS problem pairs a semantic specification with a *syntactic* one: a
+grammar of candidate programs.  Our enumerator is typed, so the natural
+restriction point is per hole *base type* — for every nonterminal kind
+(``int``, ``bool``, ``list``, ``tree``, ``tvar``) a :class:`ProductionRule`
+says which productions may fill a hole of that kind:
+
+* ``components`` — the subset of the goal's component library callable here
+  (``None`` means all of them);
+* ``literals`` — whether literal productions (``0``, ``True``/``False``) apply;
+* ``constructors`` — whether data constructors (``Nil``/``Cons``/``Leaf``) apply;
+* ``recursion`` — whether the function being synthesized may call itself;
+* ``variables`` — whether variables in scope may appear.
+
+A :class:`Grammar` maps kinds to rules with a default rule for unmentioned
+kinds.  The synthesizer consults it inside ``_terms_of_base`` and
+``_application_candidates`` (see :mod:`repro.core.synthesizer`) *before*
+candidates are constructed, so a restriction prunes whole subtrees of the
+enumeration — strictly fewer ``eterm_checks``, never merely re-filtered ones.
+Goals without a grammar skip every check (the attribute is ``None``), keeping
+the front-end zero-cost for the paper's refinement-typed workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class GrammarError(ValueError):
+    """Raised when a grammar payload cannot be decoded."""
+
+
+#: Nonterminal kinds a rule may be keyed on (the enumerator's base-type shapes).
+KINDS = ("bool", "int", "tvar", "list", "tree")
+
+
+@dataclass(frozen=True)
+class ProductionRule:
+    """Allowed productions for holes of one base-type kind."""
+
+    #: Component names callable at this hole; ``None`` allows the whole library.
+    components: Optional[Tuple[str, ...]] = None
+    literals: bool = True
+    constructors: bool = True
+    recursion: bool = True
+    variables: bool = True
+
+    def allows_component(self, name: str) -> bool:
+        return self.components is None or name in self.components
+
+
+#: The unrestricted rule — what holes get when a grammar says nothing.
+DEFAULT_RULE = ProductionRule()
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """A declarative production-rule filter, keyed by base-type kind.
+
+    ``rules`` is a canonically sorted tuple of ``(kind, rule)`` pairs so that
+    grammars are hashable, comparable and encode deterministically.
+    """
+
+    rules: Tuple[Tuple[str, ProductionRule], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for kind, _rule in self.rules:
+            if kind not in KINDS:
+                raise GrammarError(f"unknown grammar kind {kind!r} (valid: {', '.join(KINDS)})")
+            if kind in seen:
+                raise GrammarError(f"duplicate grammar rule for kind {kind!r}")
+            seen.add(kind)
+        canonical = tuple(sorted(self.rules))
+        if canonical != self.rules:
+            object.__setattr__(self, "rules", canonical)
+
+    @staticmethod
+    def create(rules: Dict[str, ProductionRule]) -> "Grammar":
+        return Grammar(tuple(sorted(rules.items())))
+
+    @staticmethod
+    def restrict_components(names: Sequence[str], **rule_overrides) -> "Grammar":
+        """The common case: one rule for every kind, restricting the library."""
+        rule = ProductionRule(components=tuple(names), **rule_overrides)
+        return Grammar.create({kind: rule for kind in KINDS})
+
+    def rule_for_kind(self, kind: str) -> ProductionRule:
+        for rule_kind, rule in self.rules:
+            if rule_kind == kind:
+                return rule
+        return DEFAULT_RULE
+
+    def rule_for_base(self, base) -> ProductionRule:
+        """The rule governing holes of the given base type."""
+        return self.rule_for_kind(kind_of_base(base))
+
+
+def kind_of_base(base) -> str:
+    """Map a :mod:`repro.typing.types` base type onto a grammar kind."""
+    # Imported lazily so the grammar module stays importable without the
+    # typing layer (specs and codecs only need the JSON form).
+    from repro.typing.types import BoolBase, IntBase, ListBase, TreeBase, TypeVarBase
+
+    if isinstance(base, BoolBase):
+        return "bool"
+    if isinstance(base, IntBase):
+        return "int"
+    if isinstance(base, TypeVarBase):
+        return "tvar"
+    if isinstance(base, ListBase):
+        return "list"
+    if isinstance(base, TreeBase):
+        return "tree"
+    raise GrammarError(f"no grammar kind for base type {type(base).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+def _rule_to_json(rule: ProductionRule) -> dict:
+    encoded: dict = {}
+    if rule.components is not None:
+        encoded["components"] = list(rule.components)
+    if not rule.literals:
+        encoded["literals"] = False
+    if not rule.constructors:
+        encoded["constructors"] = False
+    if not rule.recursion:
+        encoded["recursion"] = False
+    if not rule.variables:
+        encoded["variables"] = False
+    return encoded
+
+
+def _rule_from_json(data: dict) -> ProductionRule:
+    unknown = set(data) - {"components", "literals", "constructors", "recursion", "variables"}
+    if unknown:
+        raise GrammarError(f"unknown production-rule fields: {sorted(unknown)}")
+    components = data.get("components")
+    return ProductionRule(
+        components=tuple(components) if components is not None else None,
+        literals=bool(data.get("literals", True)),
+        constructors=bool(data.get("constructors", True)),
+        recursion=bool(data.get("recursion", True)),
+        variables=bool(data.get("variables", True)),
+    )
+
+
+def grammar_to_json(grammar: Grammar) -> dict:
+    """Canonical encoding: kinds appear sorted, defaults omitted."""
+    return {kind: _rule_to_json(rule) for kind, rule in grammar.rules}
+
+
+def grammar_from_json(data: dict) -> Grammar:
+    if not isinstance(data, dict):
+        raise GrammarError("grammar must be a JSON object of kind -> rule")
+    return Grammar.create({kind: _rule_from_json(rule) for kind, rule in data.items()})

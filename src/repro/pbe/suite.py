@@ -1,0 +1,387 @@
+"""The committed PBE benchmark suite (``specs/pbe_suite.json``).
+
+A family of example-driven goals over the standard component library:
+arithmetic and list tasks solvable from 2-5 input-output examples, the
+workload class the paper's refinement-typed tables cannot express.  Three of
+the goals carry a SyGuS grammar restriction *and* a deliberately oversized
+component library — ``bench_quick`` runs each of those twice (restricted and
+unrestricted) and records the strict ``eterm_checks`` reduction the grammar
+buys.
+
+Regenerate the committed spec with ``python -m repro.service export``; the CI
+``pbe-smoke`` job diffs the committed file against a fresh export and then
+drives it through the batch service cold and warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+from repro.core.components import library
+from repro.core.config import SynthesisConfig
+from repro.core.goals import ExampleGoal
+from repro.logic import terms as t
+from repro.pbe.examples import IOExample
+from repro.pbe.grammar import Grammar
+from repro.service.codec import goal_to_json
+from repro.typing.types import (
+    TypeSchema,
+    arrow,
+    bool_type,
+    int_type,
+    list_type,
+    tvar_type,
+)
+
+
+@dataclass(frozen=True)
+class PBEBenchmark:
+    """One row of the PBE suite."""
+
+    key: str
+    description: str
+    goal: ExampleGoal
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Rows that demonstrate grammar pruning: ``bench_quick`` additionally
+    #: runs the same goal with the grammar stripped and records the
+    #: ``eterm_checks`` delta (restricted must be strictly cheaper).
+    grammar_demo: bool = False
+
+    def config(self) -> SynthesisConfig:
+        return SynthesisConfig.resyn(**self.config_overrides)
+
+
+def examples(*pairs) -> List[IOExample]:
+    """``examples(((1, 2), 3), ...)`` -> IOExamples (inputs tuple, output)."""
+    return [IOExample.create(inputs, output) for inputs, output in pairs]
+
+
+def unrestricted(goal: ExampleGoal) -> ExampleGoal:
+    """The same goal with its grammar stripped (the pruning A/B baseline)."""
+    return replace(goal, grammar=None)
+
+
+def _goal(
+    name: str,
+    schema: TypeSchema,
+    component_names: Sequence[str],
+    exs: Sequence[IOExample],
+    grammar: Grammar = None,
+) -> ExampleGoal:
+    return ExampleGoal.create_with_examples(
+        name, schema, library(*component_names), exs, grammar
+    )
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic tasks
+# ---------------------------------------------------------------------------
+
+
+def inc2_benchmark() -> PBEBenchmark:
+    schema = TypeSchema((), arrow(("x", int_type()), int_type()))
+    goal = _goal("pbeInc2", schema, ("inc",), examples(((0,), 2), ((3,), 5), ((-1,), 1)))
+    return PBEBenchmark(
+        key="pbe_inc2",
+        description="x + 2 from examples (composed increments)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+def add_benchmark() -> PBEBenchmark:
+    """Grammar demo: the library carries four arithmetic components, the
+    grammar restricts int holes to ``plus`` alone."""
+    schema = TypeSchema((), arrow(("x", int_type()), ("y", int_type()), int_type()))
+    goal = _goal(
+        "pbeAdd",
+        schema,
+        ("plus", "inc", "dec", "abs"),
+        examples(((1, 2), 3), ((2, 5), 7), ((0, 0), 0)),
+        grammar=Grammar.restrict_components(("plus",)),
+    )
+    return PBEBenchmark(
+        key="pbe_add",
+        description="x + y from examples (grammar prunes inc/dec/abs)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+        grammar_demo=True,
+    )
+
+
+def double_benchmark() -> PBEBenchmark:
+    schema = TypeSchema((), arrow(("x", int_type()), int_type()))
+    goal = _goal("pbeDouble", schema, ("plus",), examples(((1,), 2), ((3,), 6), ((0,), 0)))
+    return PBEBenchmark(
+        key="pbe_double",
+        description="2 * x from examples (self-addition)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+def sum3_benchmark() -> PBEBenchmark:
+    schema = TypeSchema(
+        (), arrow(("x", int_type()), ("y", int_type()), ("z", int_type()), int_type())
+    )
+    goal = _goal(
+        "pbeSum3",
+        schema,
+        ("plus",),
+        examples(((1, 2, 3), 6), ((0, 1, 0), 1), ((2, 2, 2), 6)),
+    )
+    return PBEBenchmark(
+        key="pbe_sum3",
+        description="x + y + z from examples (nested application)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+def max_benchmark() -> PBEBenchmark:
+    """Grammar demo: six comparison components, grammar keeps only ``lt``."""
+    schema = TypeSchema((), arrow(("x", int_type()), ("y", int_type()), int_type()))
+    goal = _goal(
+        "pbeMax",
+        schema,
+        ("eq", "neq", "lt", "leq", "gt", "geq"),
+        examples(((1, 2), 2), ((2, 1), 2), ((3, 3), 3)),
+        grammar=Grammar.restrict_components(("lt",)),
+    )
+    return PBEBenchmark(
+        key="pbe_max",
+        description="max of two ints (grammar prunes five comparison ops)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 0, "max_cond_depth": 1},
+        grammar_demo=True,
+    )
+
+
+def min_benchmark() -> PBEBenchmark:
+    schema = TypeSchema((), arrow(("x", int_type()), ("y", int_type()), int_type()))
+    goal = _goal(
+        "pbeMin",
+        schema,
+        ("lt",),
+        examples(((1, 2), 1), ((2, 1), 1), ((4, 4), 4)),
+    )
+    return PBEBenchmark(
+        key="pbe_min",
+        description="min of two ints (guarded conditional)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 0, "max_cond_depth": 1},
+    )
+
+
+def relu_benchmark() -> PBEBenchmark:
+    """Grammar demo: comparisons + arithmetic in the library, grammar keeps
+    ``gt`` for guards and bans literals nowhere (the 0 literal is needed)."""
+    schema = TypeSchema((), arrow(("x", int_type()), int_type()))
+    goal = _goal(
+        "pbeRelu",
+        schema,
+        ("gt", "lt", "geq", "leq", "inc", "dec"),
+        examples(((-2,), 0), ((3,), 3), ((0,), 0)),
+        grammar=Grammar.restrict_components(("gt",)),
+    )
+    return PBEBenchmark(
+        key="pbe_relu",
+        description="max(x, 0) from examples (grammar keeps one comparison)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 0, "max_cond_depth": 1},
+        grammar_demo=True,
+    )
+
+
+def is_positive_benchmark() -> PBEBenchmark:
+    schema = TypeSchema((), arrow(("x", int_type()), bool_type()))
+    goal = _goal(
+        "pbeIsPositive",
+        schema,
+        ("gt",),
+        examples(((3,), True), ((-1,), False), ((0,), False)),
+    )
+    return PBEBenchmark(
+        key="pbe_is_positive",
+        description="x > 0 as a Boolean-valued goal",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+def negate_benchmark() -> PBEBenchmark:
+    schema = TypeSchema((), arrow(("b", bool_type()), bool_type()))
+    goal = _goal("pbeNegate", schema, ("not",), examples(((True,), False), ((False,), True)))
+    return PBEBenchmark(
+        key="pbe_negate",
+        description="Boolean negation from its truth table",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+# ---------------------------------------------------------------------------
+# List tasks
+# ---------------------------------------------------------------------------
+
+
+def head_or_zero_benchmark() -> PBEBenchmark:
+    schema = TypeSchema((), arrow(("xs", list_type(int_type())), int_type()))
+    goal = _goal(
+        "pbeHeadOrZero",
+        schema,
+        (),
+        examples((((),), 0), (((5, 2),), 5), (((7,),), 7)),
+    )
+    return PBEBenchmark(
+        key="pbe_head_or_zero",
+        description="head of a list, 0 when empty (pattern match)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 1, "max_cond_depth": 0},
+    )
+
+
+def tail_benchmark() -> PBEBenchmark:
+    schema = TypeSchema(
+        (), arrow(("xs", list_type(int_type())), list_type(int_type()))
+    )
+    goal = _goal(
+        "pbeTail",
+        schema,
+        (),
+        examples((((1, 2, 3),), (2, 3)), (((),), ()), (((5,),), ())),
+    )
+    return PBEBenchmark(
+        key="pbe_tail",
+        description="tail of a list, empty on empty (pattern match)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 1, "max_cond_depth": 0},
+    )
+
+
+def singleton_benchmark() -> PBEBenchmark:
+    schema = TypeSchema((), arrow(("x", int_type()), list_type(int_type())))
+    goal = _goal("pbeSingleton", schema, (), examples(((3,), (3,)), ((7,), (7,))))
+    return PBEBenchmark(
+        key="pbe_singleton",
+        description="the one-element list [x] (constructor composition)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+def pair_benchmark() -> PBEBenchmark:
+    schema = TypeSchema(
+        (), arrow(("x", int_type()), ("y", int_type()), list_type(int_type()))
+    )
+    goal = _goal(
+        "pbePair",
+        schema,
+        (),
+        examples(((1, 2), (1, 2)), ((5, 5), (5, 5)), ((0, 3), (0, 3))),
+    )
+    return PBEBenchmark(
+        key="pbe_pair",
+        description="the two-element list [x, y]",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+def member_benchmark() -> PBEBenchmark:
+    """Examples + a resource bound: ``member`` demands one potential per
+    element of the list it scans, so the goal supplies ``List a^1``."""
+    schema = TypeSchema(
+        ("a",),
+        arrow(
+            ("x", tvar_type("a")),
+            ("xs", list_type(tvar_type("a", potential=t.ONE))),
+            bool_type(),
+        ),
+    )
+    goal = _goal(
+        "pbeMember",
+        schema,
+        ("member",),
+        examples(((2, (1, 2)), True), ((2, (1, 3)), False), ((5, ()), False)),
+    )
+    return PBEBenchmark(
+        key="pbe_member",
+        description="list membership via the member component (resource bound)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+def append_benchmark() -> PBEBenchmark:
+    schema = TypeSchema(
+        ("a",),
+        arrow(
+            ("xs", list_type(tvar_type("a", potential=t.ONE))),
+            ("ys", list_type(tvar_type("a"))),
+            list_type(tvar_type("a")),
+        ),
+    )
+    goal = _goal(
+        "pbeAppend",
+        schema,
+        ("append",),
+        examples((((1,), (2,)), (1, 2)), (((), (3,)), (3,)), (((4, 5), ()), (4, 5))),
+    )
+    return PBEBenchmark(
+        key="pbe_append",
+        description="concatenation via the append component (resource bound)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 0, "max_cond_depth": 0},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry + spec export
+# ---------------------------------------------------------------------------
+
+
+def pbe_benchmarks() -> List[PBEBenchmark]:
+    """The committed PBE suite, in spec order."""
+    return [
+        inc2_benchmark(),
+        add_benchmark(),
+        double_benchmark(),
+        sum3_benchmark(),
+        max_benchmark(),
+        min_benchmark(),
+        relu_benchmark(),
+        is_positive_benchmark(),
+        negate_benchmark(),
+        head_or_zero_benchmark(),
+        tail_benchmark(),
+        singleton_benchmark(),
+        pair_benchmark(),
+        member_benchmark(),
+        append_benchmark(),
+    ]
+
+
+def pbe_benchmark_by_key(key: str) -> PBEBenchmark:
+    for bench in pbe_benchmarks():
+        if bench.key == key:
+            return bench
+    raise KeyError(key)
+
+
+def pbe_spec() -> dict:
+    """The declarative spec for the PBE suite (``specs/pbe_suite.json``)."""
+    goals = []
+    for bench in pbe_benchmarks():
+        entry: Dict[str, object] = {
+            "key": bench.key,
+            "description": bench.description,
+            "group": "PBE",
+            "goal": goal_to_json(bench.goal),
+            "modes": ["resyn"],
+        }
+        if bench.config_overrides:
+            entry["config"] = dict(bench.config_overrides)
+        goals.append(entry)
+    return {"format": "resyn-goals/1", "suite": "pbe", "goals": goals}

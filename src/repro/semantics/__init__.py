@@ -7,6 +7,7 @@ from repro.semantics.interpreter import (
     Interpreter,
     OutOfFuel,
     evaluate,
+    run_on_inputs,
 )
 from repro.semantics.refinements import (
     RefinementEvalError,

@@ -207,3 +207,35 @@ def evaluate(
 ) -> EvalResult:
     """Convenience wrapper: evaluate an expression with a fresh interpreter."""
     return Interpreter(cost_model).run(expr, env)
+
+
+def run_on_inputs(
+    program: s.Expr,
+    inputs,
+    env: Optional[Dict[str, Value]] = None,
+    cost_model: Optional[CostModel] = None,
+    fuel: int = 2_000_000,
+) -> EvalResult:
+    """Evaluate a complete program (a ``Fix``/``Lambda``) on concrete inputs.
+
+    ``program`` is evaluated in ``env`` (typically the goal's component
+    builtins) to obtain a function value, which is then applied to ``inputs``.
+    The returned :class:`EvalResult` covers the application only, so its cost
+    and high-water mark are the resource usage of the call itself — this is
+    what PBE example checking and the empirical-cost harness both need.
+
+    Dynamic errors raise :class:`EvaluationError` uniformly: that includes
+    ill-typed inputs that crash a builtin component (e.g. taking the length
+    of an int), which would otherwise surface as a raw ``TypeError`` from the
+    component's Python implementation.
+    """
+    interpreter = Interpreter(cost_model, fuel=fuel)
+    func = interpreter.run(program, env).value
+    if not isinstance(func, (Closure, Builtin)):
+        raise EvaluationError(f"program is not a function: {func!r}")
+    try:
+        return interpreter.call(func, *inputs)
+    except (EvaluationError, OutOfFuel):
+        raise
+    except (TypeError, AttributeError, IndexError, KeyError) as err:
+        raise EvaluationError(f"ill-typed input: {err}") from err

@@ -167,9 +167,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    tables = ["table1", "table2"] if args.table == "all" else [args.table]
+    tables = ["table1", "table2", "pbe"] if args.table == "all" else [args.table]
     for table in tables:
-        path = f"{args.dir}/{table}.json"
+        name = "pbe_suite" if table == "pbe" else table
+        path = f"{args.dir}/{name}.json"
         write_spec(export_table_spec(table), path)
         print(f"wrote {path}")
     return 0
@@ -360,7 +361,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.set_defaults(func=_cmd_serve, warm=True)
 
     export = commands.add_parser("export", help="export benchmark tables as spec files")
-    export.add_argument("table", nargs="?", default="all", choices=["table1", "table2", "all"])
+    export.add_argument(
+        "table", nargs="?", default="all", choices=["table1", "table2", "pbe", "all"]
+    )
     export.add_argument("--dir", default="specs", help="output directory (default specs/)")
     export.set_defaults(func=_cmd_export)
 

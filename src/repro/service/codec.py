@@ -19,12 +19,13 @@ meaningful as cache keys.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import fields as dataclass_fields
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.components import STANDARD_COMPONENTS, Component
 from repro.core.config import SynthesisConfig
-from repro.core.goals import SynthesisGoal
+from repro.core.goals import ExampleGoal, SynthesisGoal
 from repro.lang import syntax as s
 from repro.logic import terms as t
 from repro.logic.sorts import BOOL, DATA, INT, SET, Sort, uninterpreted
@@ -288,7 +289,15 @@ def schema_from_json(data: dict) -> TypeSchema:
 
 
 def goal_to_json(goal: SynthesisGoal) -> dict:
-    """Encode a goal; components must come from the standard library."""
+    """Encode a goal; components must come from the standard library.
+
+    Example goals (:class:`repro.core.goals.ExampleGoal`) additionally carry
+    their ``examples`` (in the goal's canonical order) and, when present, the
+    ``grammar`` restriction.  Both are part of the goal's identity, so they
+    flow into job fingerprints — two goals differing only in examples can
+    never collide in the result cache.  Plain goals encode exactly as before,
+    which is what keeps their fingerprints (and every cached result) stable.
+    """
     for component in goal.components:
         registered = STANDARD_COMPONENTS.get(component.name)
         if registered is None or registered is not component:
@@ -296,11 +305,29 @@ def goal_to_json(goal: SynthesisGoal) -> dict:
                 f"component {component.name!r} is not in the standard library; "
                 "declarative specs can only reference named library components"
             )
-    return {
+    encoded = {
         "name": goal.name,
         "schema": schema_to_json(goal.schema),
         "components": [c.name for c in goal.components],
     }
+    if isinstance(goal, ExampleGoal):
+        from repro.pbe.examples import example_to_json
+        from repro.pbe.grammar import grammar_to_json
+
+        encoded["examples"] = [example_to_json(e) for e in goal.examples]
+        if goal.grammar is not None:
+            encoded["grammar"] = grammar_to_json(goal.grammar)
+    return encoded
+
+
+def _unknown_component_error(name: str) -> CodecError:
+    """A pointed error for a component name that is not in the library."""
+    close = difflib.get_close_matches(name, sorted(STANDARD_COMPONENTS), n=3, cutoff=0.5)
+    if close:
+        hint = f"; closest matches: {', '.join(repr(c) for c in close)}"
+    else:
+        hint = f"; valid components: {', '.join(sorted(STANDARD_COMPONENTS))}"
+    return CodecError(f"unknown component {name!r}{hint}")
 
 
 def goal_from_json(data: dict) -> SynthesisGoal:
@@ -308,9 +335,21 @@ def goal_from_json(data: dict) -> SynthesisGoal:
     for name in data["components"]:
         component = STANDARD_COMPONENTS.get(name)
         if component is None:
-            raise CodecError(f"unknown component {name!r}")
+            raise _unknown_component_error(name)
         components.append(component)
-    return SynthesisGoal.create(data["name"], schema_from_json(data["schema"]), components)
+    name = data["name"]
+    schema = schema_from_json(data["schema"])
+    if "examples" in data or "grammar" in data:
+        from repro.pbe.examples import ExampleError, example_from_json
+        from repro.pbe.grammar import GrammarError, grammar_from_json
+
+        try:
+            examples = tuple(example_from_json(e) for e in data.get("examples", []))
+            grammar = grammar_from_json(data["grammar"]) if "grammar" in data else None
+        except (ExampleError, GrammarError) as err:
+            raise CodecError(str(err)) from err
+        return ExampleGoal.create_with_examples(name, schema, components, examples, grammar)
+    return SynthesisGoal.create(name, schema, components)
 
 
 # ---------------------------------------------------------------------------

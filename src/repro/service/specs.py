@@ -108,7 +108,13 @@ def jobs_from_spec(
     for entry in spec["goals"]:
         if entry.get("slow") and not include_slow:
             continue
-        goal = goal_from_json(entry["goal"])
+        try:
+            goal = goal_from_json(entry["goal"])
+        except CodecError as err:
+            # Name the offending entry: a spec file can hold dozens of goals,
+            # and "unknown component 'apend'" without the entry key forces a
+            # manual hunt through the file.
+            raise CodecError(f"goal entry {entry['key']!r}: {err}") from None
         overrides = dict(entry.get("config") or {})
         entry_modes = list(modes) if modes is not None else list(entry.get("modes") or ["resyn"])
         entry_retries = entry.get("retries", retries)
@@ -157,7 +163,7 @@ def spec_from_benchmarks(suite: str, benchmarks, modes: Sequence[str]) -> dict:
 
 
 def export_table_spec(table: str) -> dict:
-    """The committed spec for ``table1`` or ``table2``."""
+    """The committed spec for ``table1``, ``table2`` or the ``pbe`` suite."""
     from repro.benchsuite.definitions import table1_benchmarks, table2_benchmarks
 
     if table == "table1":
@@ -166,6 +172,10 @@ def export_table_spec(table: str) -> dict:
         return spec_from_benchmarks(
             "table2", table2_benchmarks(), ("resyn", "synquid", "eac", "noninc")
         )
+    if table == "pbe":
+        from repro.pbe.suite import pbe_spec
+
+        return pbe_spec()
     raise ValueError(f"unknown table {table!r}")
 
 

@@ -18,8 +18,11 @@ import random
 
 import pytest
 
-from repro.core import SynthesisGoal
+from repro.core import ExampleGoal, SynthesisGoal
 from repro.core.components import STANDARD_COMPONENTS
+from repro.pbe.examples import IOExample, canonical_example_key
+from repro.pbe.grammar import KINDS, Grammar, ProductionRule
+from repro.semantics.values import LEAF, VTree
 from repro.lang import syntax as s
 from repro.logic import terms as t
 from repro.logic.sorts import BOOL, INT
@@ -207,6 +210,51 @@ def gen_goal(rng):
     return SynthesisGoal.create(_name(rng, "goal"), gen_schema(rng), components)
 
 
+def gen_value(rng, depth):
+    pick = rng.randrange(5) if depth > 0 else rng.randrange(2)
+    if pick == 0:
+        return rng.randrange(-5, 6)
+    if pick == 1:
+        return rng.random() < 0.5
+    if pick == 2:
+        return tuple(gen_value(rng, depth - 1) for _ in range(rng.randrange(3)))
+    if pick == 3:
+        return LEAF
+    return VTree(LEAF, gen_value(rng, depth - 1), LEAF)
+
+
+def gen_grammar(rng):
+    rules = {}
+    for kind in KINDS:
+        if rng.random() < 0.5:
+            continue
+        components = None
+        if rng.random() < 0.5:
+            names = sorted(STANDARD_COMPONENTS)
+            components = tuple(rng.sample(names, rng.randrange(len(names) + 1)))
+        rules[kind] = ProductionRule(
+            components=components,
+            literals=rng.random() < 0.8,
+            constructors=rng.random() < 0.8,
+            recursion=rng.random() < 0.8,
+            variables=rng.random() < 0.9,
+        )
+    return Grammar.create(rules)
+
+
+def gen_example_goal(rng):
+    plain = gen_goal(rng)
+    arity = len(plain.schema.body.params())
+    examples = [
+        IOExample.create(tuple(gen_value(rng, 2) for _ in range(arity)), gen_value(rng, 2))
+        for _ in range(rng.randrange(1, 5))
+    ]
+    grammar = gen_grammar(rng) if rng.random() < 0.6 else None
+    return ExampleGoal.create_with_examples(
+        plain.name, plain.schema, plain.components, examples, grammar
+    )
+
+
 MODES = ("resyn", "synquid", "eac", "noninc", "constant_resource")
 
 
@@ -282,6 +330,66 @@ def test_config_roundtrip_fuzz(seed):
     rng = random.Random(seed)
     for _ in range(10):
         assert_roundtrip(gen_config(rng), config_to_json, config_from_json)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_example_goal_roundtrip_fuzz(seed):
+    rng = random.Random(seed)
+    for _ in range(5):
+        goal = gen_example_goal(rng)
+        assert_roundtrip(goal, goal_to_json, goal_from_json)
+        assert isinstance(goal_from_json(goal_to_json(goal)), ExampleGoal)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_example_goal_reorder_invariance(seed):
+    """Examples are canonically ordered: goals built from any permutation of
+    the same example set are equal, encode identically and fingerprint
+    identically."""
+    rng = random.Random(seed)
+    goal = gen_example_goal(rng)
+    config = gen_config(rng)
+    shuffled = list(goal.examples)
+    rng.shuffle(shuffled)
+    regoal = ExampleGoal.create_with_examples(
+        goal.name, goal.schema, goal.components, shuffled, goal.grammar
+    )
+    assert regoal == goal
+    assert goal_to_json(regoal) == goal_to_json(goal)
+    assert job_fingerprint(regoal, config) == job_fingerprint(goal, config)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_examples_separate_fingerprints(seed):
+    """Goals that differ only in their examples must never collide."""
+    rng = random.Random(seed)
+    goal = gen_example_goal(rng)
+    config = gen_config(rng)
+    existing = {canonical_example_key(e) for e in goal.examples}
+    extra = None
+    while extra is None or canonical_example_key(extra) in existing:
+        arity = len(goal.examples[0].inputs)
+        extra = IOExample.create(
+            tuple(gen_value(rng, 2) for _ in range(arity)), gen_value(rng, 2)
+        )
+    grown = ExampleGoal.create_with_examples(
+        goal.name, goal.schema, goal.components, list(goal.examples) + [extra], goal.grammar
+    )
+    assert job_fingerprint(grown, config) != job_fingerprint(goal, config)
+    # A plain goal with the same name/schema/components is distinct too.
+    plain = SynthesisGoal.create(goal.name, goal.schema, goal.components)
+    assert job_fingerprint(plain, config) != job_fingerprint(goal, config)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_example_goal_fingerprint_stable_under_codec_cycles(seed):
+    rng = random.Random(seed)
+    goal, config = gen_example_goal(rng), gen_config(rng)
+    base = job_fingerprint(goal, config)
+    cycled = goal
+    for _ in range(3):
+        cycled = goal_from_json(json.loads(json.dumps(goal_to_json(cycled))))
+        assert job_fingerprint(cycled, config) == base
 
 
 # ---------------------------------------------------------------------------

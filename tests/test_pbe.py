@@ -1,0 +1,389 @@
+"""Tests for the PBE / SyGuS front-end.
+
+Covers the example value model and codecs, grammar restrictions, CEGIS
+seeding, the ExampleGoal kind, the synthesizer's example filter and grammar
+pruning, service integration (codec errors, spec errors, fingerprints) and
+end-to-end solves of representative suite goals.
+"""
+
+import json
+
+import pytest
+
+from repro.constraints.cegis import CegisSolver, Example
+from repro.core import ExampleGoal, SynthesisGoal, synthesize
+from repro.core.components import library
+from repro.core.config import SynthesisConfig
+from repro.core.goals import SynthesisResult  # noqa: F401  (import sanity)
+from repro.logic import terms as t
+from repro.pbe import (
+    IOExample,
+    Grammar,
+    ProductionRule,
+    cegis_seed_examples,
+    check_program_on_examples,
+    example_from_json,
+    example_to_json,
+    failing_examples,
+    grammar_from_json,
+    grammar_to_json,
+    value_from_json,
+    value_to_json,
+    values_equal,
+)
+from repro.pbe.examples import ExampleError, canonical_example_key
+from repro.pbe.grammar import DEFAULT_RULE, GrammarError, kind_of_base
+from repro.pbe.suite import pbe_benchmark_by_key, pbe_benchmarks, pbe_spec, unrestricted
+from repro.semantics.values import LEAF, VTree
+from repro.service.codec import CodecError, goal_from_json, goal_to_json
+from repro.service.fingerprint import job_fingerprint
+from repro.service.specs import jobs_from_spec, validate_spec
+from repro.typing.types import (
+    BoolBase,
+    IntBase,
+    ListBase,
+    TreeBase,
+    TypeSchema,
+    TypeVarBase,
+    arrow,
+    bool_type,
+    int_type,
+    list_type,
+)
+
+
+# ---------------------------------------------------------------------------
+# Values and examples
+# ---------------------------------------------------------------------------
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            0,
+            -7,
+            True,
+            False,
+            (),
+            (1, 2, 3),
+            ((1,), (), (2, 3)),
+            LEAF,
+            VTree(LEAF, 5, VTree(LEAF, 6, LEAF)),
+        ],
+    )
+    def test_roundtrip(self, value):
+        wire = value_to_json(value)
+        assert json.loads(json.dumps(wire)) == wire
+        rebuilt = value_from_json(wire)
+        assert values_equal(rebuilt, value)
+        assert value_to_json(rebuilt) == wire
+
+    def test_bool_encodes_as_bool_not_int(self):
+        # bool is a subclass of int; the codec must not conflate them.
+        assert value_to_json(True)["t"] == "bool"
+        assert value_to_json(1)["t"] == "int"
+
+    def test_values_equal_is_type_strict(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(0, False)
+        assert values_equal((1, (True,)), (1, (True,)))
+        assert not values_equal((1, (True,)), (1, (1,)))
+
+    def test_tree_equality(self):
+        assert values_equal(VTree(LEAF, 3, LEAF), VTree(LEAF, 3, LEAF))
+        assert not values_equal(VTree(LEAF, 3, LEAF), LEAF)
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(ExampleError):
+            value_to_json(3.14)
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ExampleError):
+            value_from_json({"t": "complex", "value": 1})
+
+
+class TestIOExample:
+    def test_roundtrip(self):
+        example = IOExample.create((1, (2, 3)), True)
+        wire = example_to_json(example)
+        assert example_from_json(wire) == example
+
+    def test_canonical_key_is_deterministic(self):
+        a = IOExample.create((1, 2), 3)
+        b = IOExample.create((1, 2), 3)
+        assert canonical_example_key(a) == canonical_example_key(b)
+        assert canonical_example_key(a) != canonical_example_key(IOExample.create((2, 1), 3))
+
+    def test_str(self):
+        assert str(IOExample.create((1,), 2)) == "(1) -> 2"
+
+
+# ---------------------------------------------------------------------------
+# Grammars
+# ---------------------------------------------------------------------------
+
+
+class TestGrammar:
+    def test_rule_lookup_with_default(self):
+        grammar = Grammar.create({"int": ProductionRule(components=("plus",))})
+        assert grammar.rule_for_kind("int").components == ("plus",)
+        assert grammar.rule_for_kind("bool") is DEFAULT_RULE
+
+    def test_kind_of_base(self):
+        assert kind_of_base(IntBase()) == "int"
+        assert kind_of_base(BoolBase()) == "bool"
+        assert kind_of_base(TypeVarBase("a")) == "tvar"
+        assert kind_of_base(ListBase(int_type())) == "list"
+        assert kind_of_base(TreeBase(int_type())) == "tree"
+
+    def test_rule_for_base(self):
+        grammar = Grammar.restrict_components(("lt",))
+        assert grammar.rule_for_base(IntBase()).allows_component("lt")
+        assert not grammar.rule_for_base(IntBase()).allows_component("plus")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(GrammarError):
+            Grammar.create({"float": ProductionRule()})
+
+    def test_rejects_duplicate_kind(self):
+        with pytest.raises(GrammarError):
+            Grammar((("int", ProductionRule()), ("int", ProductionRule())))
+
+    def test_canonical_rule_order(self):
+        a = Grammar((("int", ProductionRule()), ("bool", ProductionRule(literals=False))))
+        b = Grammar((("bool", ProductionRule(literals=False)), ("int", ProductionRule())))
+        assert a == b
+        assert grammar_to_json(a) == grammar_to_json(b)
+
+    def test_json_roundtrip_omits_defaults(self):
+        grammar = Grammar.create(
+            {
+                "int": ProductionRule(components=("plus",), literals=False),
+                "list": ProductionRule(constructors=False, recursion=False),
+            }
+        )
+        wire = grammar_to_json(grammar)
+        assert wire == {
+            "int": {"components": ["plus"], "literals": False},
+            "list": {"constructors": False, "recursion": False},
+        }
+        assert grammar_from_json(wire) == grammar
+
+    def test_rejects_unknown_rule_field(self):
+        with pytest.raises(GrammarError):
+            grammar_from_json({"int": {"depth": 3}})
+
+
+# ---------------------------------------------------------------------------
+# ExampleGoal
+# ---------------------------------------------------------------------------
+
+
+def _int2_schema():
+    return TypeSchema((), arrow(("x", int_type()), ("y", int_type()), int_type()))
+
+
+class TestExampleGoal:
+    def test_examples_canonically_ordered(self):
+        a = IOExample.create((1, 2), 3)
+        b = IOExample.create((0, 0), 0)
+        forward = ExampleGoal.create_with_examples("g", _int2_schema(), library("plus"), [a, b])
+        backward = ExampleGoal.create_with_examples("g", _int2_schema(), library("plus"), [b, a])
+        assert forward == backward
+        assert forward.examples == backward.examples
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="has 1 inputs"):
+            ExampleGoal.create_with_examples(
+                "g", _int2_schema(), library("plus"), [IOExample.create((1,), 2)]
+            )
+
+    def test_is_a_synthesis_goal(self):
+        goal = ExampleGoal.create_with_examples(
+            "g", _int2_schema(), library("plus"), [IOExample.create((1, 2), 3)]
+        )
+        assert isinstance(goal, SynthesisGoal)
+
+
+# ---------------------------------------------------------------------------
+# CEGIS seeding
+# ---------------------------------------------------------------------------
+
+
+class TestSeeding:
+    def test_scalar_and_list_params(self):
+        schema = TypeSchema(
+            (), arrow(("x", int_type()), ("xs", list_type(int_type())), int_type())
+        )
+        examples = [IOExample.create((5, (1, 2, 3)), 0)]
+        seeds = cegis_seed_examples(schema, examples)
+        assert len(seeds) == 1
+        ints = seeds[0].ints
+        assert ints["x"] == 5
+        # The list parameter is seeded by its length measure, keyed by the
+        # same interned term shape the typing layer uses.
+        (measure_key,) = [k for k in ints if isinstance(k, t.App)]
+        assert ints[measure_key] == 3
+        assert measure_key.func == "len"
+
+    def test_bool_params_stay_symbolic(self):
+        schema = TypeSchema((), arrow(("b", bool_type()), bool_type()))
+        seeds = cegis_seed_examples(schema, [IOExample.create((True,), False)])
+        assert seeds == []  # nothing numeric to ground
+
+    def test_seeds_survive_reset(self):
+        solver = CegisSolver()
+        seed = Example({"x": 3})
+        solver.seed([seed])
+        assert seed in solver.examples
+        solver.examples.append(Example({"x": 9}))  # a discovered counterexample
+        solver.reset()
+        assert [e.key for e in solver.examples] == [seed.key]
+
+    def test_seeds_survive_nonincremental_restart(self):
+        solver = CegisSolver(incremental=False)
+        seed = Example({"x": 3})
+        solver.seed([seed])
+        assert solver.solve([]) is not None
+        assert [e.key for e in solver.examples] == [seed.key]
+
+
+# ---------------------------------------------------------------------------
+# Synthesizer integration
+# ---------------------------------------------------------------------------
+
+
+def _solve(key):
+    bench = pbe_benchmark_by_key(key)
+    return bench, synthesize(bench.goal, bench.config())
+
+
+class TestSynthesis:
+    def test_solves_arithmetic_goal(self):
+        bench, result = _solve("pbe_inc2")
+        assert str(result.program) == "(fix pbeInc2 \\x . (inc (inc x)))"
+        assert check_program_on_examples(
+            result.program, bench.goal.examples, bench.goal.component_builtins()
+        )
+
+    def test_solves_match_goal(self):
+        bench, result = _solve("pbe_head_or_zero")
+        assert result.succeeded
+        assert not failing_examples(
+            result.program, bench.goal.examples, bench.goal.component_builtins()
+        )
+
+    def test_example_filter_rejects_candidates(self):
+        # pbe_double's first size-ordered candidates (x, 0, plus x 0, ...)
+        # type-check but fail the examples; the filter must have rejected
+        # at least one before the solution.
+        _bench, result = _solve("pbe_double")
+        assert str(result.program) == "(fix pbeDouble \\x . (plus x x))"
+        assert result.stats["example_rejections"] > 0
+        assert result.stats["example_checks"] > result.stats["example_rejections"]
+
+    def test_grammar_restriction_reduces_eterm_checks(self):
+        bench = pbe_benchmark_by_key("pbe_add")
+        restricted = synthesize(bench.goal, bench.config())
+        free = synthesize(unrestricted(bench.goal), bench.config())
+        assert str(restricted.program) == str(free.program)
+        assert restricted.stats["eterm_checks"] < free.stats["eterm_checks"]
+
+    def test_grammar_can_ban_literals(self):
+        # pbe_double with literals banned still solves (the solution has no
+        # literal), proving rules gate production families, not components.
+        bench = pbe_benchmark_by_key("pbe_double")
+        goal = ExampleGoal.create_with_examples(
+            bench.goal.name,
+            bench.goal.schema,
+            bench.goal.components,
+            bench.goal.examples,
+            Grammar.create({"int": ProductionRule(literals=False)}),
+        )
+        result = synthesize(goal, bench.config())
+        assert str(result.program) == "(fix pbeDouble \\x . (plus x x))"
+
+    def test_plain_goals_pay_nothing(self):
+        # A goal without examples must carry no PBE stats keys at all.
+        schema = TypeSchema((), arrow(("x", int_type()), int_type()))
+        goal = SynthesisGoal.create("plain", schema, library("inc"))
+        result = synthesize(goal, SynthesisConfig.resyn(max_match_depth=0, max_cond_depth=0))
+        assert result.succeeded
+        assert "example_checks" not in result.stats
+        assert "examples" not in result.stats
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+
+
+class TestServiceIntegration:
+    def test_goal_codec_roundtrip(self):
+        bench = pbe_benchmark_by_key("pbe_max")
+        wire = goal_to_json(bench.goal)
+        rebuilt = goal_from_json(wire)
+        assert rebuilt == bench.goal
+        assert isinstance(rebuilt, ExampleGoal)
+        assert goal_to_json(rebuilt) == wire
+
+    def test_plain_goal_encoding_has_no_pbe_keys(self):
+        schema = TypeSchema((), arrow(("x", int_type()), int_type()))
+        wire = goal_to_json(SynthesisGoal.create("plain", schema, library("inc")))
+        assert "examples" not in wire
+        assert "grammar" not in wire
+
+    def test_examples_fold_into_fingerprint(self):
+        bench = pbe_benchmark_by_key("pbe_min")
+        config = bench.config()
+        goal = bench.goal
+        fewer = ExampleGoal.create_with_examples(
+            goal.name, goal.schema, goal.components, goal.examples[:-1], goal.grammar
+        )
+        assert job_fingerprint(goal, config) != job_fingerprint(fewer, config)
+
+    def test_unknown_component_names_closest_match(self):
+        schema = TypeSchema((), arrow(("x", int_type()), int_type()))
+        wire = goal_to_json(SynthesisGoal.create("g", schema, library("append")))
+        wire["components"] = ["apend"]
+        with pytest.raises(CodecError, match="apend") as err:
+            goal_from_json(wire)
+        assert "append" in str(err.value)
+
+    def test_spec_error_names_offending_entry(self):
+        spec = pbe_spec()
+        spec["goals"][0]["goal"]["components"] = ["membre"]
+        with pytest.raises(CodecError, match=spec["goals"][0]["key"]) as err:
+            jobs_from_spec(spec)
+        assert "member" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# The committed suite
+# ---------------------------------------------------------------------------
+
+
+class TestSuite:
+    def test_spec_is_valid_and_expands(self):
+        spec = pbe_spec()
+        validate_spec(spec)
+        jobs = jobs_from_spec(spec)
+        assert len(jobs) == len(pbe_benchmarks())
+        fingerprints = [job.fingerprint for job in jobs]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_suite_has_enough_goals_and_demos(self):
+        benchmarks = pbe_benchmarks()
+        assert len(benchmarks) >= 10
+        assert sum(1 for b in benchmarks if b.grammar_demo) >= 3
+        for bench in benchmarks:
+            assert 2 <= len(bench.goal.examples) <= 5
+
+    def test_committed_spec_matches_export(self):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "specs", "pbe_suite.json")
+        with open(path) as handle:
+            committed = json.load(handle)
+        assert committed == pbe_spec()

@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lang import syntax as s
-from repro.semantics.interpreter import CostModel, EvaluationError, Interpreter, evaluate
+from repro.semantics.interpreter import (
+    CostModel,
+    EvaluationError,
+    Interpreter,
+    OutOfFuel,
+    evaluate,
+    run_on_inputs,
+)
 from repro.semantics.refinements import (
     RefinementEvalError,
     eval_measure,
@@ -109,6 +116,52 @@ class TestInterpreter:
         result = interp.call(closure, tuple(xs), tuple(ys))
         assert result.value == tuple(xs) + tuple(ys)
         assert result.cost == len(xs)
+
+
+class TestRunOnInputs:
+    """`run_on_inputs`: the one-call "apply this program to these inputs"
+    helper the PBE pipeline uses to validate candidates against examples."""
+
+    def test_applies_function_program(self):
+        result = run_on_inputs(make_append(), ((1, 2), (3,)))
+        assert result.value == (1, 2, 3)
+        assert result.cost == 2  # one recursive call per element of xs
+
+    def test_scalar_function(self):
+        program = s.Lambda(("x", "y"), s.If(s.Var("b"), s.Var("x"), s.Var("y")))
+        result = run_on_inputs(program, (4, 7), env={"b": False})
+        assert result.value == 7
+
+    def test_builtin_env_components(self):
+        member = Builtin("member", 2, lambda x, l: x in l, cost=lambda x, l: len(l))
+        program = s.Lambda(("x", "xs"), s.App("member", (s.Var("x"), s.Var("xs"))))
+        assert run_on_inputs(program, (2, (1, 2)), env={"member": member}).value is True
+        assert run_on_inputs(program, (5, (1, 2)), env={"member": member}).value is False
+
+    def test_non_function_program_raises(self):
+        with pytest.raises(EvaluationError, match="not a function"):
+            run_on_inputs(s.IntLit(3), (1,))
+
+    def test_wrong_arity_raises_evaluation_error(self):
+        with pytest.raises(EvaluationError):
+            run_on_inputs(make_append(), ((1, 2),))  # append wants two lists
+
+    def test_ill_typed_inputs_raise_evaluation_error(self):
+        # Matching on an int where a list is expected must surface as
+        # EvaluationError, not a raw TypeError from the interpreter internals.
+        with pytest.raises(EvaluationError):
+            run_on_inputs(make_append(), (3, 4))
+
+    def test_ill_typed_builtin_application_raises(self):
+        member = Builtin("member", 2, lambda x, l: x in l)
+        program = s.Lambda(("x", "xs"), s.App("member", (s.Var("x"), s.Var("xs"))))
+        with pytest.raises(EvaluationError, match="ill-typed"):
+            run_on_inputs(program, (2, 3), env={"member": member})
+
+    def test_fuel_bound(self):
+        loop = s.Fix("spin", ("x",), s.App("spin", (s.Var("x"),)))
+        with pytest.raises(OutOfFuel):
+            run_on_inputs(loop, (0,), fuel=100)
 
 
 class TestExprHelpers:

@@ -288,10 +288,16 @@ class TestWarmState:
         # Resubmit: answered from the sharded cache, byte-identical.
         hit = results_of(post_jobs(warm_server, [job_entry("dedup0")]))[0]
         assert hit["cache_hit"] and hit["program"] == cold["program"]
-        # Two identical jobs in one request: one runs, one follows.
+        # Two identical jobs in one request: one runs, one follows.  The
+        # follower is deduplicated against the in-flight leader, or — when
+        # the leader finishes before the follower is dispatched — answered
+        # from the cache entry stored moments earlier.  Either way exactly
+        # one of the two may invoke the synthesizer.
         events = post_jobs(warm_server, [job_entry("dedup1"), job_entry("dedup1")])
+        flags = [(r["deduplicated"], r["cache_hit"]) for r in results_of(events)]
+        assert sum(1 for dedup, hit in flags if not dedup and not hit) == 1
+        assert sum(1 for dedup, hit in flags if dedup or hit) == 1
         first, second = results_of(events)
-        assert {first["deduplicated"], second["deduplicated"]} == {False, True}
         assert first["program"] == second["program"]
 
 
