@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke serve-smoke chaos-smoke pbe-smoke profile
+.PHONY: test lint bench-quick check-regression bench-table1 bench-table2 specs service-smoke serve-smoke chaos-smoke pbe-smoke portfolio-smoke profile
 
 ## Tier-1 verification: the full pytest suite (fails fast).
 test:
@@ -76,6 +76,15 @@ pbe-smoke:
 	$(PYTHON) -m repro.service run specs/pbe_suite.json -j 2 \
 	  --cache /tmp/resyn-pbe-cache --expect-all-hits --json /tmp/pbe-warm.json
 	$(PYTHON) benchmarks/check_pbe.py /tmp/pbe-cold.json /tmp/pbe-warm.json
+
+## What the CI portfolio-smoke job runs: the committed asymptotic suite cold
+## through the portfolio scheduler on 2 workers, twice, plus a
+## REPRO_PORTFOLIO=off sequential ladder walk.  Fails unless every goal is
+## solved with its expected winner rung, winners and programs are
+## byte-identical across runs and modes, and the race cancelled at least one
+## losing variant (losers must be reclaimed, not left to run dry).
+portfolio-smoke:
+	$(PYTHON) benchmarks/check_portfolio.py --workers 2
 
 ## What the CI chaos-smoke job runs: the Table 1 spec under deterministic
 ## fault injection (worker crashes + hangs, torn cache writes, read

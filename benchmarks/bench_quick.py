@@ -29,6 +29,13 @@ interpreter re-verification of every program against its examples, the
 restricted-vs-unrestricted ``eterm_checks`` A/B for the grammar-demo rows,
 and cold/warm cache counters for the suite through the batch scheduler.
 
+A ``portfolio`` block races the committed asymptotic suite
+(``specs/asymptotic_suite.json``) on two workers via the portfolio scheduler
+(:mod:`repro.portfolio`): per-goal winner rung, variants raced and losers
+cancelled, race wall-clock vs the sequential bound-ladder walk — asserting
+that winner rungs match the spec's expectations and programs are
+byte-identical between the race and the serial walk.
+
 ``benchmarks/check_regression.py`` compares a fresh report against the
 committed one (CI fails on >25% wall-clock regression or any program drift).
 ``total_seconds`` remains the *serial* wall-clock, so timing comparisons stay
@@ -140,6 +147,7 @@ def run_quick() -> dict:
         dump_trace_artifacts()
     report["service"] = run_service(rows)
     report["pbe"] = run_pbe()
+    report["portfolio"] = run_portfolio()
     return report
 
 
@@ -308,6 +316,79 @@ def run_pbe() -> dict:
     }
 
 
+def run_portfolio() -> dict:
+    """Portfolio workload block: race the committed asymptotic suite.
+
+    Every goal of ``specs/asymptotic_suite.json`` (fast rows) is raced on two
+    workers — the bound ladder compiled from its asymptotic class runs
+    concurrently, the first (tightest) success wins and the slack rungs are
+    cancelled.  The same suite is then walked serially (one rung at a time,
+    the portfolio gate's off-path) and the block asserts the race changed
+    *nothing* but wall-clock: winner rungs and program bytes are identical.
+    ``sequential_ladder_seconds`` is the serial walk's wall-clock, the number
+    the race's ``parallel_seconds`` is bought against.
+    """
+    from repro.portfolio.runner import PortfolioRunner
+    from repro.service.specs import jobs_from_spec, load_spec
+
+    spec = load_spec(os.path.join(REPO_ROOT, "specs", "asymptotic_suite.json"))
+    expected = {
+        f"{entry['key']}/resyn": entry.get("expected_winner")
+        for entry in spec["goals"]
+        if not entry.get("slow")
+    }
+
+    racer = PortfolioRunner(workers=2)
+    start = time.perf_counter()
+    raced = racer.run(jobs_from_spec(spec))
+    race_wall = time.perf_counter() - start
+
+    serial = PortfolioRunner(workers=1)
+    start = time.perf_counter()
+    walked = serial.run(jobs_from_spec(spec))
+    serial_wall = time.perf_counter() - start
+
+    rows = []
+    for race_result, serial_result in zip(raced, walked):
+        if race_result.program_text != serial_result.program_text:
+            raise AssertionError(
+                f"portfolio race drift for {race_result.tag}: "
+                f"{race_result.program_text!r} != {serial_result.program_text!r}"
+            )
+        info = race_result.portfolio or {}
+        stats_block = (race_result.record or {}).get("stats", {}).get("portfolio", {})
+        winner = stats_block.get("winner")
+        if winner != expected[race_result.tag]:
+            raise AssertionError(
+                f"portfolio winner drift for {race_result.tag}: "
+                f"{winner!r} != {expected[race_result.tag]!r}"
+            )
+        rows.append(
+            {
+                "benchmark": race_result.tag,
+                "succeeded": race_result.succeeded,
+                "winner": winner,
+                "ladder": list(stats_block.get("ladder", [])),
+                "seconds": round(race_result.seconds, 4),
+                "variants_raced": int(info.get("variants_raced", 0)),
+                "variants_cancelled": int(info.get("variants_cancelled", 0)),
+                "program": race_result.program_text,
+            }
+        )
+    return {
+        "workers": 2,
+        "goals": len(rows),
+        "solved": sum(1 for row in rows if row["succeeded"]),
+        "variants_raced": racer.stats.variants_raced,
+        "variants_cancelled": racer.stats.variants_cancelled,
+        "parallel_seconds": round(race_wall, 4),
+        "sequential_ladder_seconds": round(serial_wall, 4),
+        "speedup": round(serial_wall / race_wall, 3) if race_wall else 0.0,
+        "winners_identical": True,
+        "rows": rows,
+    }
+
+
 def main() -> None:
     out_path = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO_ROOT, "BENCH_synthesis.json")
     report = run_quick()
@@ -327,6 +408,14 @@ def main() -> None:
         f"  pbe: {pbe['solved']}/{pbe['goals']} solved "
         f"({pbe['examples_ok']} example-verified) in {pbe['total_seconds']:.2f}s, "
         f"warm rerun {pbe['cache']['warm']['hits']} cache hits"
+    )
+    portfolio = report["portfolio"]
+    print(
+        f"  portfolio: {portfolio['solved']}/{portfolio['goals']} asymptotic goals, "
+        f"{portfolio['variants_raced']} variants raced / "
+        f"{portfolio['variants_cancelled']} cancelled, "
+        f"race {portfolio['parallel_seconds']:.2f}s vs ladder "
+        f"{portfolio['sequential_ladder_seconds']:.2f}s"
     )
 
 

@@ -11,6 +11,10 @@ report and fails (exit code 1) when
   restricted-vs-unrestricted ``eterm_checks`` reduction, or a row's
   ``eterm_checks`` drifts past the counter tolerance (reports without a
   ``pbe`` block are skipped silently);
+* any portfolio-suite winner rung or program differs from the baseline, or
+  the race stops cancelling losers — the variant counters and wall-clock
+  fields themselves are exempt, since they depend on race timing (reports
+  without a ``portfolio`` block are skipped silently);
 * any deterministic solver counter (the report's ``counters`` block:
   LIA queries/eliminations/cores, SAT decisions/conflicts, ...) drifts by
   more than the counter tolerance — these are also machine-independent, so
@@ -168,6 +172,37 @@ def main() -> int:
                 f"eterm_checks ({fresh_row['eterm_checks']} restricted vs "
                 f"{unrestricted} unrestricted)"
             )
+
+    # Portfolio suite (reports since the portfolio scheduler landed): winner
+    # rungs and programs are the determinism contract — both are guarded
+    # strictly.  Variant counters (raced/cancelled) depend on race timing and
+    # wall-clock fields on the machine, so both are exempt; the only counter
+    # invariant is that racing keeps cancelling *some* losers.
+    base_portfolio = {
+        row["benchmark"]: row for row in (baseline.get("portfolio") or {}).get("rows", [])
+    }
+    fresh_portfolio_block = fresh.get("portfolio") or {}
+    fresh_portfolio = {row["benchmark"]: row for row in fresh_portfolio_block.get("rows", [])}
+    for benchmark in sorted(base_portfolio):
+        base_row = base_portfolio[benchmark]
+        fresh_row = fresh_portfolio.get(benchmark)
+        if fresh_row is None:
+            failures.append(f"portfolio benchmark {benchmark!r}: row missing from fresh report")
+            continue
+        if fresh_row.get("winner") != base_row.get("winner"):
+            failures.append(
+                f"portfolio winner drift in {benchmark!r}: "
+                f"{base_row.get('winner')!r} -> {fresh_row.get('winner')!r}"
+            )
+        if fresh_row["program"] != base_row["program"]:
+            failures.append(
+                f"program drift in portfolio benchmark {benchmark!r}:\n"
+                + program_diff(benchmark, "portfolio", base_row["program"], fresh_row["program"])
+            )
+    if base_portfolio and not int(fresh_portfolio_block.get("variants_cancelled", 0)):
+        failures.append(
+            "portfolio race cancelled no variants: losers are no longer being reclaimed"
+        )
 
     # Phase tables (traced runs only): span counts are deterministic counters
     # and guarded like the block above; the seconds/self_seconds columns are

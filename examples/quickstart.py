@@ -1,12 +1,20 @@
-"""Quickstart: synthesize a resource-bounded `append` through the batch service.
+"""Quickstart: the public API, from one concrete goal to an asymptotic race.
 
-This example builds a synthesis goal by hand (the same way the benchmark suite
-does), schedules it through the batch service twice — the first run invokes the
-synthesizer, the second is served entirely from the persistent result cache —
-prints the scheduler/cache statistics for both runs, verifies the synthesized
-program against the Re2 goal type and finally executes it under the cost
-semantics to confirm that the measured cost respects the typed bound (one
-recursive call per element of the first list).
+Everything here goes through :mod:`repro.api` — the stable facade.  The
+example builds two versions of the same ``append`` synthesis problem:
+
+* a *concrete* goal in the paper's encoding: 1 unit of potential per element
+  of ``xs``, a coefficient fixed up front;
+* an *asymptotic* goal that states only the class — ``O(n)`` in ``|xs|`` —
+  and lets the portfolio layer discover the constant by racing a compiled
+  coefficient ladder (probing ``O(1)`` first, since a tighter bound might
+  hold).
+
+Both are scheduled through :func:`repro.api.run_goals` twice against a
+persistent result cache — the first run invokes the synthesizer, the second
+is served entirely from the cache — and the synthesized program is finally
+verified against the Re2 goal type and executed under the cost semantics to
+confirm the measured cost respects the bound.
 
 Run with::
 
@@ -17,73 +25,83 @@ import os
 import shutil
 import tempfile
 
-from repro.core import SynthesisConfig, SynthesisGoal, library, verify
+from repro.api import AsymptoticGoal, SynthesisConfig, SynthesisGoal, open_cache, run_goals
+from repro.core import library, verify
 from repro.logic import terms as t
 from repro.semantics.interpreter import Interpreter
-from repro.service import BatchScheduler, ResultCache, job_for_goal
 from repro.typing.types import NU_NAME, TypeSchema, arrow, list_type, tvar_type
 
 
-def build_goal() -> SynthesisGoal:
-    """``append :: xs:List a^1 -> ys:List a -> {List a | len/elems spec}``."""
+def append_spec() -> "t.Term":
     nu = t.Var(NU_NAME, t.DATA)
     xs, ys = t.data_var("xs"), t.data_var("ys")
-    spec = t.conj(
+    return t.conj(
         t.len_(nu).eq(t.len_(xs) + t.len_(ys)),
         t.Eq(t.elems(nu), t.SetUnion(t.elems(xs), t.elems(ys))),
     )
+
+
+def concrete_goal() -> SynthesisGoal:
+    """``append :: xs:List a^1 -> ys:List a -> {List a | len/elems spec}``."""
     schema = TypeSchema(
         ("a",),
         arrow(
             ("xs", list_type(tvar_type("a", potential=t.ONE))),  # 1 unit per element: the bound
             ("ys", list_type(tvar_type("a"))),
-            list_type(tvar_type("a"), spec),
+            list_type(tvar_type("a"), append_spec()),
         ),
     )
     return SynthesisGoal.create("append", schema, library())
 
 
-def run_batch(cache: ResultCache, job) -> "object":
-    """One scheduler run; prints what the service did and returns the result."""
-    scheduler = BatchScheduler(workers=2, cache=cache)
-    (job_result,) = scheduler.run([job])
-    stats = scheduler.stats
-    source = "persistent cache" if job_result.cache_hit else "synthesizer"
-    print(
-        f"  {job_result.tag}: {source} in {stats.wall_seconds:.3f}s wall "
-        f"({stats.synth_runs} synth runs, {stats.cache_hits} cache hits, "
-        f"cache hit rate {cache.stats.hit_rate():.0%})"
+def asymptotic_goal() -> AsymptoticGoal:
+    """The same problem stated asymptotically: linear in ``|xs|``.
+
+    The template carries no potential — the bound class replaces it.  The
+    portfolio compiles ``O(n)`` into concrete rungs (coefficients 1, 2, 4,
+    plus an ``O(1)`` probe) and the tightest rung that admits a program wins.
+    """
+    schema = TypeSchema(
+        ("a",),
+        arrow(
+            ("xs", list_type(tvar_type("a"))),
+            ("ys", list_type(tvar_type("a"))),
+            list_type(tvar_type("a"), append_spec()),
+        ),
     )
-    return job_result
+    return AsymptoticGoal.create("append", schema, library(), bound="O(n)", size_of="xs")
 
 
 def main() -> None:
-    goal = build_goal()
     config = SynthesisConfig.resyn(max_arg_depth=2, max_match_depth=1, max_cond_depth=0)
-    job = job_for_goal(goal, config, tag="quickstart/append")
-    print("job fingerprint:", job.fingerprint[:16], "...")
+    goals = [concrete_goal(), asymptotic_goal()]
 
     cache_dir = os.path.join(tempfile.gettempdir(), "resyn-quickstart-cache")
     shutil.rmtree(cache_dir, ignore_errors=True)  # cold start for the demo
-    cache = ResultCache(cache_dir)
+    cache = open_cache(cache_dir)
 
     print("cold run (invokes the synthesizer, fills the cache):")
-    cold = run_batch(cache, job)
+    cold = run_goals(goals, config, workers=2, cache=cache)
     print("warm run (served from the cache, zero synthesizer invocations):")
-    warm = run_batch(cache, job)
-    if not warm.cache_hit or warm.program_text != cold.program_text:
-        raise SystemExit("warm run should be a cache hit with an identical program")
+    warm = run_goals(goals, config, workers=2, cache=cache)
+    print(f"  cache hit rate across both runs: {cache.stats.hit_rate():.0%}")
 
-    result = warm.to_synthesis_result(goal)
-    if not result.succeeded:
+    for cold_result, warm_result in zip(cold, warm):
+        if str(warm_result.program) != str(cold_result.program):
+            raise SystemExit("warm run should replay an identical program")
+
+    concrete, asymptotic = warm
+    if not (concrete.succeeded and asymptotic.succeeded):
         raise SystemExit("synthesis failed")
-    print("\nSynthesized after %d candidates:" % result.candidates_checked)
-    print("   ", result.program)
+    race = asymptotic.stats["portfolio"]
+    print(f"\nasymptotic goal: ladder {race['ladder']} -> winner {race['winner']}")
+    print("synthesized:")
+    print("   ", concrete.program)
 
-    print("Re-checking against the Re2 goal type:", verify(result.program, goal))
+    print("Re-checking against the Re2 goal type:", verify(concrete.program, concrete.goal))
 
     interpreter = Interpreter()
-    closure = interpreter.run(result.program, goal.component_builtins()).value
+    closure = interpreter.run(concrete.program, concrete.goal.component_builtins()).value
     xs, ys = (1, 2, 3, 4), (9, 9)
     evaluation = interpreter.call(closure, xs, ys)
     print("append", xs, ys, "=", evaluation.value)

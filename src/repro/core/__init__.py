@@ -10,7 +10,7 @@ from repro.core.components import (
     schemas_of,
 )
 from repro.core.config import SynthesisConfig
-from repro.core.goals import ExampleGoal, SynthesisGoal, SynthesisResult
+from repro.core.goals import AsymptoticGoal, ExampleGoal, SynthesisGoal, SynthesisResult
 from repro.core.synthesizer import Synthesizer, synthesize, verify, with_default_cost
 
 __all__ = [name for name in dir() if not name.startswith("_")]

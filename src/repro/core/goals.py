@@ -9,17 +9,29 @@ typed input-output examples (and an optional grammar restriction on the
 enumerator).  Examples are part of the goal's identity — they enter the wire
 encoding and therefore the job fingerprint — and are held in a canonical
 order, so two goals with the same examples never disagree on either.
+
+:class:`AsymptoticGoal` is the asymptotic goal kind (Hu et al., CAV 2021):
+instead of a concrete potential annotation it carries a resource-bound
+*class* — ``O(1)``, ``O(n)`` or ``O(n^2)`` — over a potential-free template
+type.  The portfolio layer (:mod:`repro.portfolio`) compiles it into a ladder
+of concrete potential-annotated goals and races them; the bound class, size
+parameters and coefficient ladder are all part of the goal's identity and
+flow into the wire encoding and the job fingerprint.
+
+All three goal classes share one keyword-consistent construction surface:
+``create(name=..., schema=..., components=..., ...)`` with the same names for
+the shared fields.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.components import Component, builtins_of, schemas_of
 from repro.lang import syntax as s
 from repro.semantics.values import Builtin
-from repro.typing.types import ArrowType, TypeSchema
+from repro.typing.types import ArrowType, IntBase, ListBase, RType, TreeBase, Type, TypeSchema
 
 
 @dataclass(frozen=True)
@@ -97,6 +109,17 @@ class ExampleGoal(SynthesisGoal):
                 )
 
     @staticmethod
+    def create(  # type: ignore[override]
+        name: str,
+        schema: TypeSchema,
+        components: Sequence[Component],
+        examples: Sequence = (),
+        grammar: Optional[object] = None,
+    ) -> "ExampleGoal":
+        """Keyword-consistent constructor (same leading fields as the base)."""
+        return ExampleGoal(name, schema, tuple(components), tuple(examples), grammar)
+
+    @staticmethod
     def create_with_examples(
         name: str,
         schema: TypeSchema,
@@ -105,6 +128,128 @@ class ExampleGoal(SynthesisGoal):
         grammar: Optional[object] = None,
     ) -> "ExampleGoal":
         return ExampleGoal(name, schema, tuple(components), tuple(examples), grammar)
+
+
+#: Asymptotic resource-bound classes, tightest first.  The order is load
+#: bearing: the portfolio ladder probes tighter classes before the requested
+#: one, and the winner rule prefers lower rungs.
+BOUND_CLASSES: Tuple[str, ...] = ("O(1)", "O(n)", "O(n^2)")
+
+#: Default coefficient ladder for the requested bound class.
+DEFAULT_LADDER: Tuple[int, ...] = (1, 2, 4)
+
+
+def _type_has_potential(rtype: Type) -> bool:
+    """Whether any (nested) potential annotation in ``rtype`` is nonzero."""
+    if isinstance(rtype, ArrowType):
+        return _type_has_potential(rtype.param_type) or _type_has_potential(rtype.result)
+    assert isinstance(rtype, RType)
+    from repro.logic import terms as t
+
+    if not (isinstance(rtype.potential, t.IntConst) and rtype.potential.value == 0):
+        return True
+    if isinstance(rtype.base, (ListBase, TreeBase)):
+        return _type_has_potential(rtype.base.elem)
+    return False
+
+
+@dataclass(frozen=True)
+class AsymptoticGoal(SynthesisGoal):
+    """A goal with an asymptotic bound instead of a concrete potential.
+
+    ``schema`` is a potential-free *template*; ``bound`` names the asymptotic
+    class (one of :data:`BOUND_CLASSES`); ``size_of`` names the parameters
+    the bound is measured in (resolved at construction: defaults to every
+    list parameter, else every int parameter); ``ladder`` is the coefficient
+    ladder the portfolio compiles the class into (see
+    :func:`repro.portfolio.bounds.compile_ladder`).  The paper's concrete
+    encoding must fix one coefficient up front — an asymptotic goal instead
+    states only the class, and the portfolio discovers the constant.
+    """
+
+    bound: str = "O(n)"
+    size_of: tuple = ()
+    ladder: tuple = DEFAULT_LADDER
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bound not in BOUND_CLASSES:
+            raise ValueError(
+                f"unknown bound class {self.bound!r}; expected one of {', '.join(BOUND_CLASSES)}"
+            )
+        if _type_has_potential(self.schema.body):
+            raise ValueError(
+                f"asymptotic goal {self.name!r} must use a potential-free template type; "
+                "the bound class replaces concrete potential annotations"
+            )
+        ladder = tuple(self.ladder) or DEFAULT_LADDER
+        if any(not isinstance(c, int) or c < 1 for c in ladder) or list(ladder) != sorted(
+            set(ladder)
+        ):
+            raise ValueError(
+                f"asymptotic goal {self.name!r}: ladder must be strictly increasing "
+                f"positive integers (got {self.ladder!r})"
+            )
+        object.__setattr__(self, "ladder", ladder)
+        object.__setattr__(self, "size_of", self._resolve_size_of())
+
+    def _resolve_size_of(self) -> tuple:
+        body = self.schema.body
+        assert isinstance(body, ArrowType)
+        params = dict(body.params())
+        names: tuple
+        if self.size_of:
+            names = (self.size_of,) if isinstance(self.size_of, str) else tuple(self.size_of)
+            for name in names:
+                if name not in params:
+                    raise ValueError(
+                        f"asymptotic goal {self.name!r}: size parameter {name!r} is not a "
+                        f"parameter (have {', '.join(params)})"
+                    )
+                ptype = params[name]
+                if not (isinstance(ptype, RType) and isinstance(ptype.base, (ListBase, IntBase))):
+                    raise ValueError(
+                        f"asymptotic goal {self.name!r}: size parameter {name!r} must be a "
+                        "list or int parameter"
+                    )
+        else:
+            names = tuple(
+                name
+                for name, ptype in params.items()
+                if isinstance(ptype, RType) and isinstance(ptype.base, ListBase)
+            )
+            if not names:
+                names = tuple(
+                    name
+                    for name, ptype in params.items()
+                    if isinstance(ptype, RType) and isinstance(ptype.base, IntBase)
+                )
+        if not names and self.bound != "O(1)":
+            raise ValueError(
+                f"asymptotic goal {self.name!r}: bound {self.bound} needs at least one "
+                "list or int size parameter"
+            )
+        if self.bound == "O(n^2)" and not any(
+            isinstance(params[name].base, ListBase) for name in names
+        ):
+            raise ValueError(
+                f"asymptotic goal {self.name!r}: bound O(n^2) needs at least one list "
+                "size parameter (quadratic potential lives on list elements)"
+            )
+        return names
+
+    @staticmethod
+    def create(  # type: ignore[override]
+        name: str,
+        schema: TypeSchema,
+        components: Sequence[Component],
+        bound: str = "O(n)",
+        size_of: Union[str, Sequence[str]] = (),
+        ladder: Sequence[int] = DEFAULT_LADDER,
+    ) -> "AsymptoticGoal":
+        """Keyword-consistent constructor (same leading fields as the base)."""
+        size = (size_of,) if isinstance(size_of, str) else tuple(size_of)
+        return AsymptoticGoal(name, schema, tuple(components), bound, size, tuple(ladder))
 
 
 @dataclass

@@ -1,0 +1,33 @@
+"""Portfolio synthesis: racing ladders of concrete goals for asymptotic bounds.
+
+See :mod:`repro.portfolio.bounds` for ladder compilation,
+:mod:`repro.portfolio.variants` for variant expansion,
+:mod:`repro.portfolio.runner` for the race itself, and
+:mod:`repro.portfolio.suite` for the committed asymptotic benchmark suite.
+"""
+
+from repro.portfolio.bounds import Rung, compile_ladder, rung_label
+from repro.portfolio.runner import PortfolioRunner, is_portfolio_job, portfolio_enabled
+from repro.portfolio.variants import (
+    Variant,
+    component_variants,
+    expand_goal,
+    ladder_variants,
+    mode_variants,
+    relax_variants,
+)
+
+__all__ = [
+    "PortfolioRunner",
+    "Rung",
+    "Variant",
+    "compile_ladder",
+    "component_variants",
+    "expand_goal",
+    "is_portfolio_job",
+    "ladder_variants",
+    "mode_variants",
+    "portfolio_enabled",
+    "relax_variants",
+    "rung_label",
+]

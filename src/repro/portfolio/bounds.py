@@ -1,0 +1,180 @@
+"""Compiling asymptotic bound classes into ladders of concrete goals.
+
+The paper synthesizes against a *concrete* resource bound: a fixed potential
+annotation on the goal type.  An :class:`repro.core.goals.AsymptoticGoal`
+instead states only a bound class — ``O(1)``, ``O(n)``, ``O(n^2)`` — over a
+potential-free template.  This module compiles that class into a *ladder* of
+concrete potential-annotated goals, tightest first, which the portfolio
+scheduler races (:mod:`repro.portfolio.runner`).
+
+Rung shapes, following the paper's own annotation idioms:
+
+* ``O(1)`` with coefficient ``c`` — constant potential ``c`` on the first
+  parameter (released into the checker's free-potential pool on binding);
+* ``O(n)`` with coefficient ``c`` — per-element potential ``c`` on every
+  list size parameter, plus dependent potential ``c * nu`` on every int size
+  parameter (the ``replicate``/``take`` idiom);
+* ``O(n^2)`` with coefficient ``c`` — per-element potential
+  ``c + c * len(p1)`` on every list size parameter, where ``p1`` is the
+  first list size parameter (total potential covers ``c * n^2`` for inputs
+  of combined size ``n``); int size parameters keep their linear annotation.
+
+Ladders for a class probe every tighter class once (at the smallest ladder
+coefficient) before trying the requested class at each coefficient — so an
+``O(n)`` goal first races an ``O(1)`` rung, and the winner reported is the
+tightest rung that synthesizes.  The rung list is a pure function of the
+goal, so its order (the portfolio's winner priority) is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core.goals import BOUND_CLASSES, AsymptoticGoal, SynthesisGoal
+from repro.logic import terms as t
+from repro.typing.types import NU_NAME, ArrowType, IntBase, ListBase, RType, TypeSchema
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One concrete goal of a bound ladder."""
+
+    #: Position in the ladder; doubles as the winner priority (lower wins).
+    index: int
+    #: Human-readable rung label, e.g. ``O(n)[c=2]``.
+    label: str
+    #: The bound class this rung instantiates.
+    cls: str
+    coefficient: int
+    goal: SynthesisGoal
+
+
+def rung_label(cls: str, coefficient: int) -> str:
+    return f"{cls}[c={coefficient}]"
+
+
+def _rewrite_params(
+    schema: TypeSchema, rewrite: Callable[[str, RType], RType]
+) -> TypeSchema:
+    """Apply ``rewrite`` to every first-order parameter type of ``schema``."""
+
+    def rebuild(arrow: ArrowType) -> ArrowType:
+        ptype = arrow.param_type
+        if isinstance(ptype, RType):
+            ptype = rewrite(arrow.param, ptype)
+        result = arrow.result
+        if isinstance(result, ArrowType):
+            result = rebuild(result)
+        return ArrowType(arrow.param, ptype, result, arrow.cost)
+
+    body = schema.body
+    assert isinstance(body, ArrowType)
+    return TypeSchema(schema.tvars, rebuild(body))
+
+
+def _constant_schema(schema: TypeSchema, coefficient: int) -> TypeSchema:
+    """O(1) rung: constant potential on the first parameter."""
+    body = schema.body
+    assert isinstance(body, ArrowType)
+    first = body.param
+
+    def rewrite(name: str, ptype: RType) -> RType:
+        if name != first:
+            return ptype
+        return RType(ptype.base, ptype.refinement, t.IntConst(coefficient))
+
+    return _rewrite_params(schema, rewrite)
+
+
+def _scaled(coefficient: int, term: t.Term) -> t.Term:
+    return term if coefficient == 1 else t.Mul(t.IntConst(coefficient), term)
+
+
+def _linear_schema(schema: TypeSchema, size_of: Tuple[str, ...], coefficient: int) -> TypeSchema:
+    """O(n) rung: ``c`` per element of list size params, ``c * nu`` on ints."""
+
+    def rewrite(name: str, ptype: RType) -> RType:
+        if name not in size_of:
+            return ptype
+        if isinstance(ptype.base, ListBase):
+            return ptype.with_elem_potential(t.IntConst(coefficient))
+        if isinstance(ptype.base, IntBase):
+            return RType(
+                ptype.base, ptype.refinement, _scaled(coefficient, t.Var(NU_NAME, t.INT))
+            )
+        return ptype
+
+    return _rewrite_params(schema, rewrite)
+
+
+def _quadratic_schema(
+    schema: TypeSchema, size_of: Tuple[str, ...], coefficient: int
+) -> TypeSchema:
+    """O(n^2) rung: dependent per-element potential ``c + c * len(p1)``.
+
+    ``p1`` is the first list size parameter; referencing it from every list
+    size parameter's element type (including its own — the checker accepts
+    the self-reference) yields total potential that dominates ``c * n^2``
+    without leaving linear arithmetic.  This is the rung the paper's concrete
+    encoding cannot state as a goal: it depends on the input being measured.
+    """
+    body = schema.body
+    assert isinstance(body, ArrowType)
+    params = dict(body.params())
+    primary = next(
+        name
+        for name in size_of
+        if isinstance(params[name], RType) and isinstance(params[name].base, ListBase)
+    )
+    elem_potential = t.Add(
+        t.IntConst(coefficient), _scaled(coefficient, t.len_(t.data_var(primary)))
+    )
+
+    def rewrite(name: str, ptype: RType) -> RType:
+        if name not in size_of:
+            return ptype
+        if isinstance(ptype.base, ListBase):
+            return ptype.with_elem_potential(elem_potential)
+        if isinstance(ptype.base, IntBase):
+            return RType(ptype.base, ptype.refinement, _scaled(coefficient, t.Var(NU_NAME, t.INT)))
+        return ptype
+
+    return _rewrite_params(schema, rewrite)
+
+
+_RUNG_SCHEMAS = {
+    "O(1)": lambda schema, size_of, c: _constant_schema(schema, c),
+    "O(n)": _linear_schema,
+    "O(n^2)": _quadratic_schema,
+}
+
+
+def compile_rung(goal: AsymptoticGoal, cls: str, coefficient: int, index: int) -> Rung:
+    """One concrete rung: the template re-annotated for ``cls`` at ``c``."""
+    schema = _RUNG_SCHEMAS[cls](goal.schema, goal.size_of, coefficient)
+    concrete = SynthesisGoal.create(goal.name, schema, goal.components)
+    return Rung(
+        index=index,
+        label=rung_label(cls, coefficient),
+        cls=cls,
+        coefficient=coefficient,
+        goal=concrete,
+    )
+
+
+def compile_ladder(goal: AsymptoticGoal) -> List[Rung]:
+    """The deterministic bound ladder for ``goal``, tightest rung first.
+
+    Every class strictly tighter than the requested one contributes a single
+    probe rung at the smallest ladder coefficient; the requested class
+    contributes one rung per ladder coefficient.  The resulting index order
+    is the portfolio's winner priority.
+    """
+    target = BOUND_CLASSES.index(goal.bound)
+    rungs: List[Rung] = []
+    for cls in BOUND_CLASSES[:target]:
+        rungs.append(compile_rung(goal, cls, goal.ladder[0], len(rungs)))
+    for coefficient in goal.ladder:
+        rungs.append(compile_rung(goal, goal.bound, coefficient, len(rungs)))
+    return rungs

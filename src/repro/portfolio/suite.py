@@ -1,0 +1,290 @@
+"""The asymptotic benchmark suite (``specs/asymptotic_suite.json``).
+
+Each benchmark states an :class:`repro.core.goals.AsymptoticGoal`: the same
+refinement specifications as the Table 1/2 rows, but with the concrete
+potential annotations *removed* and replaced by a bound class.  The portfolio
+layer compiles each class into a ladder of concrete rungs and races them
+(:mod:`repro.portfolio.runner`); ``expected_winner`` records which rung must
+win — by the deterministic winner rule that is a property of the goal, not of
+race timing, so the benchmark harness asserts it across worker counts.
+
+``asym_triple`` and ``asym_subset`` are the rows the paper's concrete-bound
+encoding cannot state as written here:
+
+* ``asym_triple`` is linear only at coefficient 2 — a concrete goal must
+  name that constant up front, the asymptotic goal just says ``O(n)`` and
+  the ladder discovers it;
+* ``asym_subset`` needs the input-dependent per-element potential the
+  ``O(n^2)`` rung compiles to (``1 + len(xs)`` on *both* list arguments),
+  i.e. a bound that mentions the measured input itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.components import library
+from repro.core.goals import AsymptoticGoal
+from repro.logic import terms as t
+from repro.service.codec import goal_to_json
+from repro.typing.types import (
+    NU_NAME,
+    TypeSchema,
+    arrow,
+    bool_type,
+    int_type,
+    list_type,
+    nat_type,
+    tvar_type,
+)
+
+NU_DATA = t.Var(NU_NAME, t.DATA)
+NU_INT = t.Var(NU_NAME, t.INT)
+NU_BOOL = t.Var(NU_NAME, t.BOOL)
+
+
+def _elem(name: str = "a") -> "tvar_type":
+    return tvar_type(name)
+
+
+@dataclass(frozen=True)
+class AsymptoticBenchmark:
+    """One row of the asymptotic suite."""
+
+    key: str
+    description: str
+    goal: AsymptoticGoal
+    #: Search-bound overrides applied to every rung (same knobs as Table 1/2).
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+    #: The rung label the deterministic winner rule must select.
+    expected_winner: str = ""
+    slow: bool = False
+
+
+def is_empty_asym() -> AsymptoticBenchmark:
+    xs = t.data_var("xs")
+    goal = AsymptoticGoal.create(
+        "isEmpty",
+        TypeSchema(
+            ("a",), arrow(("xs", list_type(_elem())), bool_type(t.Iff(NU_BOOL, t.len_(xs).eq(0))))
+        ),
+        library(),
+        bound="O(1)",
+    )
+    return AsymptoticBenchmark(
+        key="asym_is_empty",
+        description="is empty, O(1)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 1, "max_cond_depth": 0},
+        expected_winner="O(1)[c=1]",
+    )
+
+
+def length_asym() -> AsymptoticBenchmark:
+    xs = t.data_var("xs")
+    goal = AsymptoticGoal.create(
+        "lengthOf",
+        TypeSchema(("a",), arrow(("xs", list_type(_elem())), int_type(NU_INT.eq(t.len_(xs))))),
+        library("inc"),
+        bound="O(n)",
+    )
+    return AsymptoticBenchmark(
+        key="asym_length",
+        description="length, O(n)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 1, "max_cond_depth": 0},
+        expected_winner="O(n)[c=1]",
+    )
+
+
+def append_asym() -> AsymptoticBenchmark:
+    xs = t.data_var("xs")
+    ys = t.data_var("ys")
+    goal_ref = t.conj(
+        t.len_(NU_DATA).eq(t.len_(xs) + t.len_(ys)),
+        t.Eq(t.elems(NU_DATA), t.SetUnion(t.elems(xs), t.elems(ys))),
+    )
+    goal = AsymptoticGoal.create(
+        "appendLists",
+        TypeSchema(
+            ("a",),
+            arrow(("xs", list_type(_elem())), ("ys", list_type(_elem())), list_type(_elem(), goal_ref)),
+        ),
+        library(),
+        bound="O(n)",
+        size_of=("xs",),
+    )
+    return AsymptoticBenchmark(
+        key="asym_append",
+        description="append two lists, O(n)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 1, "max_cond_depth": 0},
+        expected_winner="O(n)[c=1]",
+    )
+
+
+def duplicate_asym() -> AsymptoticBenchmark:
+    xs = t.data_var("xs")
+    goal_ref = t.len_(NU_DATA).eq(t.len_(xs) + t.len_(xs))
+    goal = AsymptoticGoal.create(
+        "duplicateEach",
+        TypeSchema(("a",), arrow(("xs", list_type(_elem())), list_type(_elem(), goal_ref))),
+        library(),
+        bound="O(n)",
+    )
+    return AsymptoticBenchmark(
+        key="asym_duplicate",
+        description="duplicate each element, O(n)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 3, "max_match_depth": 1, "max_cond_depth": 0},
+        expected_winner="O(n)[c=1]",
+    )
+
+
+def triple_asym() -> AsymptoticBenchmark:
+    arg = t.data_var("l")
+    goal_ref = t.len_(NU_DATA).eq(t.len_(arg) + t.len_(arg) + t.len_(arg))
+    goal = AsymptoticGoal.create(
+        "triple",
+        TypeSchema(("a",), arrow(("l", list_type(_elem())), list_type(_elem(), goal_ref))),
+        library("append"),
+        bound="O(n)",
+    )
+    return AsymptoticBenchmark(
+        key="asym_triple",
+        description="append three copies, O(n) (needs c=2)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 2, "max_match_depth": 0, "max_cond_depth": 0},
+        expected_winner="O(n)[c=2]",
+    )
+
+
+def compare_asym() -> AsymptoticBenchmark:
+    ys = t.data_var("ys")
+    zs = t.data_var("zs")
+    goal_ref = t.Iff(NU_BOOL, t.len_(ys).eq(t.len_(zs)))
+    goal = AsymptoticGoal.create(
+        "compare",
+        TypeSchema(
+            ("a",),
+            arrow(("ys", list_type(_elem())), ("zs", list_type(_elem())), bool_type(goal_ref)),
+        ),
+        library(),
+        bound="O(n)",
+        size_of=("ys",),
+    )
+    return AsymptoticBenchmark(
+        key="asym_compare",
+        description="length comparison, O(n)",
+        goal=goal,
+        expected_winner="O(n)[c=1]",
+    )
+
+
+def snoc_asym() -> AsymptoticBenchmark:
+    xs = t.data_var("xs")
+    goal_ref = t.len_(NU_DATA).eq(t.len_(xs) + 1)
+    goal = AsymptoticGoal.create(
+        "snoc",
+        TypeSchema(
+            ("a",),
+            arrow(("xs", list_type(_elem())), ("x", _elem()), list_type(_elem(), goal_ref)),
+        ),
+        library(),
+        bound="O(n)",
+        size_of=("xs",),
+    )
+    return AsymptoticBenchmark(
+        key="asym_snoc",
+        description="add one element, O(n) requested but O(1) discovered",
+        goal=goal,
+        config_overrides={"max_arg_depth": 3, "max_match_depth": 1, "max_cond_depth": 0},
+        expected_winner="O(1)[c=1]",
+    )
+
+
+def replicate_asym() -> AsymptoticBenchmark:
+    n = t.int_var("n")
+    goal_ref = t.len_(NU_DATA).eq(n)
+    goal = AsymptoticGoal.create(
+        "replicate",
+        TypeSchema(("a",), arrow(("n", nat_type()), ("x", _elem()), list_type(_elem(), goal_ref))),
+        library("dec", "leq"),
+        bound="O(n)",
+        size_of=("n",),
+    )
+    return AsymptoticBenchmark(
+        key="asym_replicate",
+        description="replicate, O(n) in an int size parameter",
+        goal=goal,
+        config_overrides={"max_arg_depth": 3, "max_match_depth": 0, "max_cond_depth": 1},
+        expected_winner="O(n)[c=1]",
+        slow=True,
+    )
+
+
+def subset_asym() -> AsymptoticBenchmark:
+    xs = t.data_var("xs")
+    ys = t.data_var("ys")
+    goal_ref = t.Iff(NU_BOOL, t.SetSubset(t.elems(xs), t.elems(ys)))
+    goal = AsymptoticGoal.create(
+        "subsetOf",
+        TypeSchema(
+            ("a",),
+            arrow(("xs", list_type(_elem())), ("ys", list_type(_elem())), bool_type(goal_ref)),
+        ),
+        library("member"),
+        bound="O(n^2)",
+    )
+    return AsymptoticBenchmark(
+        key="asym_subset",
+        description="subset via member scans, O(n^2) (dependent potential)",
+        goal=goal,
+        config_overrides={"max_arg_depth": 1, "max_match_depth": 1, "max_cond_depth": 1},
+        expected_winner="O(n^2)[c=1]",
+    )
+
+
+def asymptotic_benchmarks() -> List[AsymptoticBenchmark]:
+    """The asymptotic suite, in spec order."""
+    return [
+        is_empty_asym(),
+        length_asym(),
+        append_asym(),
+        duplicate_asym(),
+        triple_asym(),
+        compare_asym(),
+        snoc_asym(),
+        replicate_asym(),
+        subset_asym(),
+    ]
+
+
+def asymptotic_spec() -> dict:
+    """The committed declarative spec for the asymptotic suite."""
+    from repro.service.specs import SPEC_FORMAT
+
+    goals = []
+    for bench in asymptotic_benchmarks():
+        entry: Dict[str, object] = {
+            "key": bench.key,
+            "description": bench.description,
+            "goal": goal_to_json(bench.goal),
+            "modes": ["resyn"],
+        }
+        if bench.config_overrides:
+            entry["config"] = dict(bench.config_overrides)
+        if bench.expected_winner:
+            entry["expected_winner"] = bench.expected_winner
+        if bench.slow:
+            entry["slow"] = True
+        goals.append(entry)
+    return {"format": SPEC_FORMAT, "suite": "asymptotic", "goals": goals}
+
+
+def benchmark_by_key(key: str) -> AsymptoticBenchmark:
+    for bench in asymptotic_benchmarks():
+        if bench.key == key:
+            return bench
+    raise KeyError(key)

@@ -35,6 +35,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.portfolio.runner import PortfolioRunner, is_portfolio_job
 from repro.service.cache import open_cache
 from repro.service.scheduler import DEFAULT_GRACE, DEFAULT_RETRIES, BatchScheduler, JobResult
 from repro.service.specs import export_table_spec, jobs_from_spec, load_spec, write_spec
@@ -73,7 +74,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.cache
         else None
     )
-    scheduler = BatchScheduler(
+    # Specs with asymptotic goals go through the portfolio runner, which
+    # races each goal's bound ladder; plain specs keep the exact batch path.
+    scheduler_cls = (
+        PortfolioRunner if any(is_portfolio_job(job) for job in jobs) else BatchScheduler
+    )
+    scheduler = scheduler_cls(
         workers=args.jobs,
         cache=cache,
         retries=args.retries,
@@ -92,6 +98,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         elif result.error:
             line += f"  {result.error}"
         print(line)
+        info = result.portfolio
+        if info:
+            print(
+                f"  {'':>{width}s}  portfolio[{info.get('mode', '?')}]: "
+                f"winner {info.get('winner', '-')}, "
+                f"{info.get('variants_raced', 0)} raced, "
+                f"{info.get('variants_cancelled', 0)} cancelled"
+            )
 
     stats = scheduler.stats
     print(
@@ -167,11 +181,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    tables = ["table1", "table2", "pbe"] if args.table == "all" else [args.table]
+    tables = (
+        ["table1", "table2", "pbe", "asymptotic"] if args.table == "all" else [args.table]
+    )
     for table in tables:
-        name = "pbe_suite" if table == "pbe" else table
-        path = f"{args.dir}/{name}.json"
-        write_spec(export_table_spec(table), path)
+        if table == "asymptotic":
+            from repro.portfolio.suite import asymptotic_spec
+
+            path = f"{args.dir}/asymptotic_suite.json"
+            write_spec(asymptotic_spec(), path)
+        else:
+            name = "pbe_suite" if table == "pbe" else table
+            path = f"{args.dir}/{name}.json"
+            write_spec(export_table_spec(table), path)
         print(f"wrote {path}")
     return 0
 
@@ -184,6 +206,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.cache
         else None
     )
+    extra = {}
+    if args.max_pending is not None:
+        extra["max_pending"] = args.max_pending
     serve_forever(
         workers=args.jobs,
         cache=cache,
@@ -193,6 +218,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         grace=args.hard_timeout,
         warm_workers=args.warm,
+        **extra,
     )
     return 0
 
@@ -353,6 +379,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also accept newline-delimited JSON ops on stdin",
     )
     serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bound on admitted-but-unfinished jobs; further POST /jobs get "
+            "429 with a Retry-After hint (default 256)"
+        ),
+    )
+    serve.add_argument(
         "--cold",
         dest="warm",
         action="store_false",
@@ -362,7 +398,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     export = commands.add_parser("export", help="export benchmark tables as spec files")
     export.add_argument(
-        "table", nargs="?", default="all", choices=["table1", "table2", "pbe", "all"]
+        "table",
+        nargs="?",
+        default="all",
+        choices=["table1", "table2", "pbe", "asymptotic", "all"],
     )
     export.add_argument("--dir", default="specs", help="output directory (default specs/)")
     export.set_defaults(func=_cmd_export)

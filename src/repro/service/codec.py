@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.components import STANDARD_COMPONENTS, Component
 from repro.core.config import SynthesisConfig
-from repro.core.goals import ExampleGoal, SynthesisGoal
+from repro.core.goals import AsymptoticGoal, ExampleGoal, SynthesisGoal
 from repro.lang import syntax as s
 from repro.logic import terms as t
 from repro.logic.sorts import BOOL, DATA, INT, SET, Sort, uninterpreted
@@ -310,7 +310,13 @@ def goal_to_json(goal: SynthesisGoal) -> dict:
         "schema": schema_to_json(goal.schema),
         "components": [c.name for c in goal.components],
     }
-    if isinstance(goal, ExampleGoal):
+    if isinstance(goal, AsymptoticGoal):
+        encoded["bound"] = {
+            "cls": goal.bound,
+            "size_of": list(goal.size_of),
+            "ladder": list(goal.ladder),
+        }
+    elif isinstance(goal, ExampleGoal):
         from repro.pbe.examples import example_to_json
         from repro.pbe.grammar import grammar_to_json
 
@@ -339,6 +345,24 @@ def goal_from_json(data: dict) -> SynthesisGoal:
         components.append(component)
     name = data["name"]
     schema = schema_from_json(data["schema"])
+    if "bound" in data:
+        bound = data["bound"]
+        if not isinstance(bound, dict) or "cls" not in bound:
+            raise CodecError(f"goal {name!r}: 'bound' must be an object with a 'cls' field")
+        unknown = set(bound) - {"cls", "size_of", "ladder"}
+        if unknown:
+            raise CodecError(f"goal {name!r}: unknown bound fields: {sorted(unknown)}")
+        try:
+            return AsymptoticGoal.create(
+                name,
+                schema,
+                components,
+                bound=bound["cls"],
+                size_of=tuple(bound.get("size_of") or ()),
+                ladder=tuple(bound.get("ladder") or ()),
+            )
+        except ValueError as err:
+            raise CodecError(str(err)) from err
     if "examples" in data or "grammar" in data:
         from repro.pbe.examples import ExampleError, example_from_json
         from repro.pbe.grammar import GrammarError, grammar_from_json

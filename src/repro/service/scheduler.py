@@ -186,6 +186,12 @@ class JobResult:
     #: Warm-solver counter block from the executing worker (None when the job
     #: ran cold).  Stripped from the record before caching, like the timings.
     warm: Optional[Dict[str, object]] = None
+    #: Run-level portfolio attribution (None for non-portfolio jobs): how the
+    #: race actually unfolded — per-variant outcomes, cancellations, timings.
+    #: Timing-dependent, so carried here rather than in the cached record;
+    #: the deterministic part of the attribution (winner, ladder) lives in
+    #: ``record["stats"]["portfolio"]``.
+    portfolio: Optional[Dict[str, object]] = None
 
     @property
     def succeeded(self) -> bool:
@@ -257,6 +263,10 @@ class SchedulerStats:
     poisoned: int = 0
     #: Replacement workers spawned after a loss (pool rebuilds).
     pool_rebuilds: int = 0
+    #: Portfolio variants dispatched across all portfolio races this run.
+    variants_raced: int = 0
+    #: Portfolio variants cancelled because a higher-priority variant won.
+    variants_cancelled: int = 0
     #: 1 when pool creation failed entirely and jobs ran on the serial backend.
     degraded_serial: int = 0
     wall_seconds: float = 0.0
@@ -296,6 +306,8 @@ class SchedulerStats:
             "hard_timeouts": self.hard_timeouts,
             "poisoned": self.poisoned,
             "pool_rebuilds": self.pool_rebuilds,
+            "variants_raced": self.variants_raced,
+            "variants_cancelled": self.variants_cancelled,
             "degraded_serial": self.degraded_serial,
             "wall_seconds": round(self.wall_seconds, 4),
             "cpu_seconds": round(self.cpu_seconds, 4),
@@ -491,6 +503,10 @@ class WorkerPool:
         self.kills = 0
         #: Replacement workers spawned after a loss, cumulative.
         self.rebuilds = 0
+        #: Workers deliberately killed to cancel their job (portfolio losers),
+        #: cumulative.  Kept separate from ``kills``: a cancel is scheduler
+        #: intent, not a failure, so it must not feed poison verdicts.
+        self.cancels = 0
         #: Partial busy seconds charged to workers retired mid-job, by PID.
         self.busy_charges: Dict[int, float] = {}
 
@@ -576,6 +592,26 @@ class WorkerPool:
     def active_tokens(self) -> List[object]:
         """Tokens of jobs currently executing (for shutdown accounting)."""
         return [entry.token for entry in self._active.values()]
+
+    def cancel_token(self, token: object) -> bool:
+        """Kill the worker executing ``token`` and spawn a replacement.
+
+        Used by the portfolio scheduler to reclaim a worker from a losing
+        variant the moment a higher-priority variant succeeds.  The kill is
+        counted under :attr:`cancels` (not :attr:`kills`) and no event is
+        emitted for the token — the caller already decided the job's fate.
+        Returns ``False`` if ``token`` is not currently active.
+        """
+        for worker, entry in list(self._active.items()):
+            if entry.token == token:
+                del self._active[worker]
+                if worker in self._workers:
+                    self._workers.remove(worker)
+                worker.kill()
+                self.cancels += 1
+                self._respawn()
+                return True
+        return False
 
     def next_deadline(self) -> Optional[float]:
         """Earliest parent-enforced kill time among active jobs (monotonic)."""

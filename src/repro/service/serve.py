@@ -76,8 +76,28 @@ from repro.service.scheduler import (
     tally_result,
 )
 from repro.service.specs import jobs_from_spec, validate_spec
+from repro.portfolio.runner import is_portfolio_job, portfolio_enabled, variant_jobs
+from repro.portfolio.variants import Variant, expand_goal
 
 Emit = Callable[[dict], None]
+
+#: Default cap on submitted-but-unfinished jobs (generous: admission control
+#: exists to bound memory under pathological clients, not to throttle use).
+DEFAULT_MAX_PENDING = 256
+
+
+class AdmissionFullError(RuntimeError):
+    """``submit`` refused: the server's pending-job cap is reached.
+
+    The HTTP front-end maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` hint (seconds).
+    """
+
+    def __init__(self, pending: int, max_pending: int, retry_after: int) -> None:
+        super().__init__(
+            f"admission queue full: {pending} jobs pending (max {max_pending})"
+        )
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -95,11 +115,35 @@ class _ServerJob:
     #: Dedup followers: same (fingerprint, timeout) submitted while this one
     #: is in flight; they receive a copy of its result.
     followers: List["_ServerJob"] = field(default_factory=list)
+    #: Portfolio race state when this is a *logical* asymptotic job; its
+    #: concrete rungs run as internal child jobs that report back here.
+    portfolio: Optional["_PortfolioState"] = None
+    #: Set on child jobs only: the logical job this variant belongs to.
+    parent: Optional["_ServerJob"] = None
+    variant_index: int = -1
+    variant_label: str = ""
+
+
+@dataclass
+class _PortfolioState:
+    """The supervisor-side race of one logical portfolio job."""
+
+    bound: str
+    #: Whether variants race concurrently (False: sequential ladder walk via
+    #: lazy admission — rung ``i+1`` is queued only once rung ``i`` failed).
+    racing: bool
+    variants: List[Variant]
+    children: List["_ServerJob"] = field(default_factory=list)
+    resolved: Dict[int, JobResult] = field(default_factory=dict)
+    statuses: List[str] = field(default_factory=list)
+    raced: int = 0
+    cancelled: int = 0
+    done: bool = False
 
 
 def result_summary(result: JobResult) -> dict:
     """The wire form of a finished job (the ``result`` event payload)."""
-    return {
+    payload = {
         "ok": result.succeeded,
         "tag": result.tag,
         "fingerprint": result.fingerprint,
@@ -115,6 +159,9 @@ def result_summary(result: JobResult) -> dict:
         "worker_pid": result.worker_pid,
         "warm": result.warm,
     }
+    if result.portfolio is not None:
+        payload["portfolio"] = result.portfolio
+    return payload
 
 
 def jobs_from_wire(data: dict) -> List[Job]:
@@ -169,9 +216,12 @@ class SynthesisServer:
         backoff_cap: float = BACKOFF_CAP,
         warm_workers: bool = True,
         start_method: Optional[str] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
     ) -> None:
         if workers < 1:
             raise ValueError("a server needs at least one worker")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
         self.workers = workers
         self.cache = cache
         self.retries = retries
@@ -198,6 +248,15 @@ class SynthesisServer:
         self._idle.set()
         self._queue_depth = 0
         self._busy: Dict[int, float] = {}
+        #: Bounded admission: submitted-but-unfinished logical jobs.
+        self.max_pending = max_pending
+        self._pending = 0
+        self._admission_rejected = 0
+        #: Supervisor-owned queue/retry-heap, published so the portfolio
+        #: machinery (which runs on the supervisor thread) can cancel queued
+        #: variants.  Only the supervisor thread touches them.
+        self._sv_queue: Optional[Deque[_ServerJob]] = None
+        self._sv_retry: Optional[List[Tuple[float, int, _ServerJob]]] = None
         #: Fingerprint → workers killed, across every request this server has
         #: served.  This is what makes poison detection *survive* requests: a
         #: poison job resubmitted later is refused, not re-executed.
@@ -259,6 +318,14 @@ class SynthesisServer:
         with self._lock:
             if self._draining or self._stopped.is_set():
                 raise RuntimeError("server is shutting down")
+            if self._pending >= self.max_pending:
+                self._admission_rejected += 1
+                metrics.REGISTRY.counter("service.admission.rejected").inc()
+                # Hint scales with the backlog per worker: roughly how long
+                # until a slot frees up, clamped to something polite.
+                retry_after = max(1, min(30, self._pending // max(self.workers, 1)))
+                raise AdmissionFullError(self._pending, self.max_pending, retry_after)
+            self._pending += 1
             self._seq += 1
             seq = self._seq
         self._idle.clear()
@@ -299,6 +366,11 @@ class SynthesisServer:
                 "poison_fingerprints": sum(
                     1 for kills in self._poison_kills.values() if kills >= POISON_KILLS
                 ),
+                "admission": {
+                    "max_pending": self.max_pending,
+                    "pending": self._pending,
+                    "rejected": self._admission_rejected,
+                },
             },
             "scheduler": scheduler,
         }
@@ -315,6 +387,8 @@ class SynthesisServer:
         queue: Deque[_ServerJob] = deque()
         retry_heap: List[Tuple[float, int, _ServerJob]] = []
         inflight: Dict[Tuple[str, Optional[float]], _ServerJob] = {}
+        self._sv_queue = queue
+        self._sv_retry = retry_heap
         shutdown = False
         drain = True
         try:
@@ -334,6 +408,21 @@ class SynthesisServer:
                     _, _, sjob = heapq.heappop(retry_heap)
                     queue.appendleft(sjob)
                 if shutdown and not drain:
+                    # Portfolio parents first: marking their races done makes
+                    # the child cancellations below settle as no-ops instead
+                    # of re-entering the race state machine.
+                    for sjob in list(inflight.values()):
+                        if sjob.portfolio is not None and not sjob.portfolio.done:
+                            sjob.portfolio.done = True
+                            self._finish(
+                                sjob,
+                                JobResult(
+                                    tag=sjob.job.tag,
+                                    fingerprint=sjob.job.fingerprint,
+                                    cancelled=True,
+                                ),
+                                inflight,
+                            )
                     # Cancel queued + pending-retry work; active jobs are
                     # killed with the pool below but still get an event.
                     for sjob in list(queue) + [item[2] for item in retry_heap]:
@@ -469,7 +558,10 @@ class SynthesisServer:
         inflight[key] = sjob
         with self._stats_lock:
             self.stats.synth_runs += 1
-        queue.append(sjob)
+        if is_portfolio_job(job):
+            self._expand_portfolio(sjob, queue, inflight)
+        else:
+            queue.append(sjob)
 
     def _payload(self, sjob: _ServerJob) -> dict:
         job = sjob.job
@@ -492,19 +584,39 @@ class SynthesisServer:
             soft = config_timeout if soft is None else min(soft, config_timeout)
         return soft
 
+    def _emit_started(self, sjob: _ServerJob) -> None:
+        """Emit ``started`` — or ``variant_started`` for a portfolio child."""
+        if sjob.parent is not None:
+            state = sjob.parent.portfolio
+            if state is not None and state.statuses[sjob.variant_index] != "racing":
+                state.statuses[sjob.variant_index] = "racing"
+                state.raced += 1
+                with self._stats_lock:
+                    self.stats.variants_raced += 1
+            self._emit(
+                sjob,
+                {
+                    "event": "variant_started",
+                    "id": sjob.seq,
+                    "variant": sjob.variant_index,
+                    "label": sjob.variant_label,
+                    "attempt": sjob.attempts + 1,
+                },
+            )
+            return
+        self._emit(sjob, {"event": "started", "id": sjob.seq, "attempt": sjob.attempts + 1})
+
     def _dispatch(self, sjob: _ServerJob) -> bool:
         assert self._pool is not None
         if not self._pool.dispatch(sjob, self._payload(sjob), self._soft_timeout(sjob.job)):
             return False
-        self._emit(
-            sjob, {"event": "started", "id": sjob.seq, "attempt": sjob.attempts + 1}
-        )
+        self._emit_started(sjob)
         return True
 
     def _run_inline(
         self, sjob: _ServerJob, inflight: Dict[Tuple[str, Optional[float]], _ServerJob]
     ) -> None:
-        self._emit(sjob, {"event": "started", "id": sjob.seq, "attempt": sjob.attempts + 1})
+        self._emit_started(sjob)
         try:
             record = _execute_payload(self._payload(sjob))
         except Exception as exc:  # noqa: BLE001 - worker parity
@@ -621,11 +733,18 @@ class SynthesisServer:
         result: JobResult,
         inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
     ) -> None:
+        if sjob.parent is not None:
+            # A portfolio child settles into its parent's race instead of
+            # being tallied and reported as a job of its own.
+            self._variant_finished(sjob, result, inflight)
+            return
         key = (sjob.job.fingerprint, sjob.job.timeout)
         if inflight.get(key) is sjob:
             del inflight[key]
         with self._stats_lock:
             tally_result(self.stats, result, self._busy)
+        with self._lock:
+            self._pending = max(0, self._pending - 1 - len(sjob.followers))
         metrics.REGISTRY.counter("serve.jobs_completed").inc()
         trace.event(
             "serve.job.done", tag=result.tag, ok=result.succeeded, attempts=result.attempts
@@ -648,17 +767,268 @@ class SynthesisServer:
             self._emit(follower, {"event": "result", "id": follower.seq, **result_summary(copy)})
         sjob.followers = []
 
+    # ------------------------------------------------------------------
+    # Portfolio races (supervisor thread only)
+    # ------------------------------------------------------------------
+    def _expand_portfolio(
+        self,
+        parent: _ServerJob,
+        queue: Deque[_ServerJob],
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        """Expand a logical asymptotic job into child variant jobs.
+
+        Children carry the parent's seq (events refer to the logical job) and
+        report back through :meth:`_variant_finished`; they bypass dedup and
+        the pending cap — they are internal work, not submissions.
+        """
+        job = parent.job
+        goal = job.goal()
+        config = job.config()
+        variants = expand_goal(goal, config)
+        state = _PortfolioState(
+            bound=goal.bound,
+            racing=self.workers > 1 and portfolio_enabled(),
+            variants=variants,
+            statuses=["pending"] * len(variants),
+        )
+        parent.portfolio = state
+        for variant, vjob in zip(variants, variant_jobs(job, variants)):
+            state.children.append(
+                _ServerJob(
+                    seq=parent.seq,
+                    job=vjob,
+                    emit=parent.emit,
+                    submitted=parent.submitted,
+                    parent=parent,
+                    variant_index=variant.index,
+                    variant_label=variant.label,
+                )
+            )
+        # Pre-resolve from server-lifetime poison memory and the cache, so a
+        # warm re-run never re-dispatches anything.
+        for index, child in enumerate(state.children):
+            fingerprint = child.job.fingerprint
+            kills = self._poison_kills.get(fingerprint, 0) if fingerprint else 0
+            if kills >= POISON_KILLS:
+                state.resolved[index] = JobResult(
+                    tag=child.job.tag,
+                    fingerprint=fingerprint,
+                    error=(
+                        f"poison job: killed {kills} workers in this server's "
+                        "lifetime; refusing to re-execute"
+                    ),
+                )
+                state.statuses[index] = "failed"
+                continue
+            if self.cache is not None and fingerprint:
+                entry = self.cache.lookup(fingerprint)
+                if entry is not None:
+                    cached = JobResult(
+                        tag=child.job.tag,
+                        fingerprint=fingerprint,
+                        record=entry,
+                        cache_hit=True,
+                        timed_out=bool(entry.get("timed_out")),
+                    )
+                    state.resolved[index] = cached
+                    state.statuses[index] = "won" if cached.succeeded else "failed"
+        if state.racing:
+            for index, child in enumerate(state.children):
+                if index not in state.resolved:
+                    state.statuses[index] = "queued"
+                    queue.append(child)
+        self._portfolio_evaluate(parent, queue, inflight)
+
+    def _variant_finished(
+        self,
+        child: _ServerJob,
+        result: JobResult,
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        parent = child.parent
+        assert parent is not None and parent.portfolio is not None
+        state = parent.portfolio
+        index = child.variant_index
+        if state.done or index in state.resolved:
+            return  # already cancelled or otherwise settled
+        state.resolved[index] = result
+        state.statuses[index] = "won" if result.succeeded else "failed"
+        trace.event(
+            "serve.variant.done", tag=result.tag, ok=result.succeeded, variant=index
+        )
+        assert self._sv_queue is not None
+        self._portfolio_evaluate(parent, self._sv_queue, inflight)
+
+    def _portfolio_evaluate(
+        self,
+        parent: _ServerJob,
+        queue: Deque[_ServerJob],
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        """Advance one race: cancel losers, conclude, or admit the next rung."""
+        state = parent.portfolio
+        assert state is not None
+        if state.done:
+            return
+        wins = sorted(i for i, r in state.resolved.items() if r.succeeded)
+        if wins:
+            winner = wins[0]
+            self._portfolio_cancel_above(parent, winner, queue)
+            # The win is final only once every tighter rung has failed.
+            if all(i in state.resolved for i in range(winner)):
+                self._portfolio_conclude(parent, winner, inflight)
+            return
+        if len(state.resolved) == len(state.children):
+            self._portfolio_conclude(parent, None, inflight)
+            return
+        if not state.racing:
+            # Sequential ladder: admit the tightest rung not yet admitted.
+            for index, child in enumerate(state.children):
+                if index in state.resolved:
+                    continue
+                if state.statuses[index] == "pending":
+                    state.statuses[index] = "queued"
+                    queue.append(child)
+                break
+
+    def _portfolio_cancel_above(
+        self, parent: _ServerJob, winner: int, queue: Deque[_ServerJob]
+    ) -> None:
+        """Reclaim every variant that can no longer win, queued or active."""
+        state = parent.portfolio
+        assert state is not None
+        retry_heap = self._sv_retry if self._sv_retry is not None else []
+        removed_retry = False
+        for index in range(winner + 1, len(state.children)):
+            if index in state.resolved:
+                continue
+            child = state.children[index]
+            verdict = JobResult(
+                tag=child.job.tag, fingerprint=child.job.fingerprint, cancelled=True
+            )
+            if state.statuses[index] == "pending":
+                # Serial mode: the rung was never admitted — nothing ran, so
+                # nothing was cancelled; the ladder simply stopped short.
+                state.resolved[index] = verdict
+                state.statuses[index] = "skipped"
+                continue
+            if child in queue:
+                queue.remove(child)
+            for entry in [e for e in retry_heap if e[2] is child]:
+                retry_heap.remove(entry)
+                removed_retry = True
+            if self._pool is not None:
+                self._pool.cancel_token(child)
+            state.resolved[index] = verdict
+            state.statuses[index] = "cancelled"
+            state.cancelled += 1
+            with self._stats_lock:
+                self.stats.variants_cancelled += 1
+            self._emit(
+                parent,
+                {
+                    "event": "variant_cancelled",
+                    "id": parent.seq,
+                    "variant": index,
+                    "label": child.variant_label,
+                },
+            )
+        if removed_retry:
+            heapq.heapify(retry_heap)
+
+    def _portfolio_conclude(
+        self,
+        parent: _ServerJob,
+        winner: Optional[int],
+        inflight: Dict[Tuple[str, Optional[float]], _ServerJob],
+    ) -> None:
+        """Build the logical job's result from the race outcome and finish."""
+        state = parent.portfolio
+        assert state is not None
+        state.done = True
+        job = parent.job
+        rows = []
+        for index, variant in enumerate(state.variants):
+            status = state.statuses[index]
+            if status == "won" and winner is not None and index != winner:
+                status = "lost"
+            row: Dict[str, object] = {
+                "index": index,
+                "label": variant.label,
+                "status": status,
+            }
+            result = state.resolved.get(index)
+            if result is not None and result.record is not None:
+                row["seconds"] = round(result.seconds, 4)
+                if result.cache_hit:
+                    row["cache_hit"] = True
+            rows.append(row)
+        run_info: Dict[str, object] = {
+            "mode": "race" if state.racing else "serial",
+            "variants": rows,
+            "variants_raced": state.raced,
+            "variants_cancelled": state.cancelled,
+        }
+        total_attempts = sum(r.attempts for r in state.resolved.values())
+        if winner is None:
+            reasons = "; ".join(
+                f"{state.variants[i].label}: "
+                f"{state.resolved[i].failure_reason() or 'no program'}"
+                for i in sorted(state.resolved)
+            )
+            final = JobResult(
+                tag=job.tag,
+                fingerprint=job.fingerprint,
+                error=f"portfolio: no variant satisfied the bound ({reasons})",
+                attempts=total_attempts,
+                portfolio=run_info,
+            )
+            self._finish(parent, final, inflight)
+            return
+        winner_result = state.resolved[winner]
+        run_info["winner"] = state.variants[winner].label
+        run_info["sequential_seconds"] = round(
+            sum(state.resolved[i].seconds for i in range(winner + 1) if i in state.resolved),
+            4,
+        )
+        record = dict(winner_result.record or {})
+        stats_block = dict(record.get("stats") or {})
+        stats_block["portfolio"] = {
+            "bound": state.bound,
+            "ladder": [variant.label for variant in state.variants],
+            "variants_total": len(state.variants),
+            "winner": state.variants[winner].label,
+            "winner_index": winner,
+        }
+        record["stats"] = stats_block
+        if self.cache is not None and job.fingerprint and not winner_result.timed_out:
+            self.cache.store(job.fingerprint, record)
+        final = JobResult(
+            tag=job.tag,
+            fingerprint=job.fingerprint,
+            record=record,
+            timed_out=winner_result.timed_out,
+            attempts=total_attempts,
+            queue_seconds=winner_result.queue_seconds,
+            run_seconds=winner_result.run_seconds,
+            worker_pid=winner_result.worker_pid,
+            warm=winner_result.warm,
+            portfolio=run_info,
+        )
+        self._finish(parent, final, inflight)
+
 
 # ---------------------------------------------------------------------------
 # HTTP front-end (hand-rolled HTTP/1.1 over asyncio — no dependencies)
 # ---------------------------------------------------------------------------
 
 
-def _http_response(status: str, payload: dict) -> bytes:
+def _http_response(status: str, payload: dict, extra_headers: str = "") -> bytes:
     body = (json.dumps(payload, sort_keys=True) + "\n").encode()
     return (
         f"HTTP/1.1 {status}\r\nContent-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        f"Content-Length: {len(body)}\r\n{extra_headers}Connection: close\r\n\r\n"
     ).encode() + body
 
 
@@ -705,15 +1075,30 @@ async def _stream_jobs(server: SynthesisServer, jobs: List[Job], writer) -> None
     def emit(event: dict) -> None:
         loop.call_soon_threadsafe(events.put_nowait, event)
 
-    ids = [server.submit(job, emit) for job in jobs]
+    ids = []
+    rejected: List[str] = []
+    admission_error: Optional[AdmissionFullError] = None
+    for job in jobs:
+        try:
+            ids.append(server.submit(job, emit))
+        except AdmissionFullError as exc:
+            admission_error = exc
+            rejected.append(job.tag)
+    if not ids and admission_error is not None:
+        # Nothing was admitted — the caller can still send a clean 429.
+        raise admission_error
     writer.write(
         b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n"
         b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
     )
-    writer.write(_chunk((json.dumps({"event": "accepted", "ids": ids}) + "\n").encode()))
+    accepted: Dict[str, object] = {"event": "accepted", "ids": ids}
+    if rejected:
+        accepted["rejected"] = rejected
+        accepted["retry_after"] = admission_error.retry_after
+    writer.write(_chunk((json.dumps(accepted) + "\n").encode()))
     await writer.drain()
     done = 0
-    while done < len(jobs):
+    while done < len(ids):
         event = await events.get()
         writer.write(_chunk((json.dumps(event, sort_keys=True) + "\n").encode()))
         await writer.drain()
@@ -743,6 +1128,14 @@ async def _handle_connection(
             else:
                 try:
                     await _stream_jobs(server, jobs, writer)
+                except AdmissionFullError as exc:
+                    writer.write(
+                        _http_response(
+                            "429 Too Many Requests",
+                            {"error": str(exc), "retry_after": exc.retry_after},
+                            extra_headers=f"Retry-After: {exc.retry_after}\r\n",
+                        )
+                    )
                 except RuntimeError as exc:  # shutting down
                     writer.write(_http_response("503 Service Unavailable", {"error": str(exc)}))
         elif method == "POST" and path == "/shutdown":

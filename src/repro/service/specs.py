@@ -26,10 +26,16 @@ Schema (``resyn-goals/1``)::
           "config": {"max_arg_depth": 2},  // overrides applied to every mode
           "constant_resource": false,       // resyn runs as the CT variant
           "slow": false,                    // skipped unless include_slow
-          "retries": 1                      // optional crash-retry budget
+          "retries": 1,                     // optional crash-retry budget
+          "expected_winner": "O(n)[c=1]"    // asymptotic suites: winning rung
         }
       ]
     }
+
+Field names are unified across every suite (tables, PBE, asymptotic):
+:data:`ENTRY_FIELDS` is the full vocabulary, and spellings from earlier
+drafts of the format fail validation with a pointed rename hint
+(:data:`RENAMED_FIELDS`) rather than being silently ignored.
 
 Retry budgets are *scheduling* policy, not part of the synthesis problem:
 like per-job timeouts they never enter the job fingerprint, so changing them
@@ -38,6 +44,7 @@ does not invalidate cached results.
 
 from __future__ import annotations
 
+import difflib
 import json
 import os
 from typing import Dict, List, Optional, Sequence
@@ -46,6 +53,47 @@ from repro.service.codec import CodecError, config_from_mode, goal_from_json, go
 from repro.service.scheduler import Job, job_for_goal
 
 SPEC_FORMAT = "resyn-goals/1"
+
+#: The unified goal-entry vocabulary.  Every front end (tables, PBE, the
+#: asymptotic suite) uses exactly these field names; anything else is a
+#: spelling mistake and gets a pointed error instead of a silent no-op.
+ENTRY_FIELDS = frozenset(
+    {
+        "key",
+        "description",
+        "group",
+        "goal",
+        "modes",
+        "config",
+        "constant_resource",
+        "slow",
+        "retries",
+        "expected_winner",
+    }
+)
+
+#: Field spellings earlier drafts of the format (and near-miss typos people
+#: actually make) used, mapped to the unified name.  An old spelling is a
+#: hard error — silently ignoring ``"mode"`` would run the wrong tool — but
+#: the error says exactly what to write instead.
+RENAMED_FIELDS = {
+    "name": "key",
+    "id": "key",
+    "tag": "key",
+    "desc": "description",
+    "comment": "description",
+    "mode": "modes",
+    "tools": "modes",
+    "configs": "config",
+    "options": "config",
+    "overrides": "config",
+    "ct": "constant_resource",
+    "const_resource": "constant_resource",
+    "skip": "slow",
+    "retry": "retries",
+    "retry_budget": "retries",
+    "winner": "expected_winner",
+}
 
 
 # ---------------------------------------------------------------------------
@@ -78,6 +126,9 @@ def validate_spec(spec: dict) -> None:
     seen = set()
     for entry in goals:
         key = entry.get("key")
+        for field_name in entry:
+            if field_name not in ENTRY_FIELDS:
+                raise CodecError(_unknown_field_message(key, field_name))
         if not key or key in seen:
             raise CodecError(f"goal entries need unique 'key' fields (got {key!r})")
         seen.add(key)
@@ -86,6 +137,19 @@ def validate_spec(spec: dict) -> None:
         retries = entry.get("retries")
         if retries is not None and (not isinstance(retries, int) or retries < 0):
             raise CodecError(f"goal {key!r}: 'retries' must be a non-negative integer")
+
+
+def _unknown_field_message(key, field_name: str) -> str:
+    where = f"goal {key!r}" if key else "goal entry"
+    renamed = RENAMED_FIELDS.get(field_name)
+    if renamed is not None:
+        return (
+            f"{where}: field {field_name!r} was renamed; "
+            f"write {renamed!r} (the unified spec vocabulary)"
+        )
+    close = difflib.get_close_matches(field_name, ENTRY_FIELDS, n=1)
+    hint = f" — did you mean {close[0]!r}?" if close else ""
+    return f"{where}: unknown field {field_name!r}{hint}"
 
 
 def jobs_from_spec(

@@ -366,3 +366,117 @@ class TestChaos:
             assert after["server"]["poison_fingerprints"] == 1
         finally:
             handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# Portfolio races over HTTP
+# ---------------------------------------------------------------------------
+
+
+def asym_entry(key):
+    from dataclasses import replace
+
+    from repro.core import SynthesisConfig
+    from repro.portfolio.suite import benchmark_by_key
+
+    bench = benchmark_by_key(key)
+    config = replace(SynthesisConfig.resyn(), **bench.config_overrides)
+    return {"tag": key, "goal": goal_to_json(bench.goal), "config": config_to_json(config)}
+
+
+class TestPortfolio:
+    def test_race_streams_variant_events_and_reports_the_winner(self, warm_server):
+        from repro.portfolio.suite import benchmark_by_key
+
+        events = post_jobs(warm_server, [asym_entry("asym_length")])
+        started = [e for e in events if e["event"] == "variant_started"]
+        cancelled = [e for e in events if e["event"] == "variant_cancelled"]
+        assert started, "racing must announce its variants"
+        assert cancelled, "a win above the O(1) probe must cancel slack rungs"
+        (result,) = results_of(events)
+        assert result["ok"]
+        info = result["portfolio"]
+        expected = benchmark_by_key("asym_length").expected_winner
+        assert info["winner"] == expected
+        assert info["variants_cancelled"] == len(cancelled)
+        # Every streamed variant event refers to the logical job.
+        assert {e["id"] for e in started + cancelled} == {result["id"]}
+
+    def test_logical_cache_hit_replays_without_racing(self, warm_server):
+        first = results_of(post_jobs(warm_server, [asym_entry("asym_is_empty")]))
+        replay_events = post_jobs(warm_server, [asym_entry("asym_is_empty")])
+        (replay,) = results_of(replay_events)
+        assert replay["cache_hit"]
+        assert replay["program"] == first[0]["program"]
+        assert not [e for e in replay_events if e["event"] == "variant_started"]
+
+    def test_no_variant_jobs_leak_into_server_tallies(self):
+        handle = serve_in_thread(workers=2)
+        try:
+            events = post_jobs(handle, [asym_entry("asym_is_empty")])
+            assert len(results_of(events)) == 1
+            _, stats = get_json(handle, "/stats")
+            # One logical job, however many variants it raced.
+            assert stats["scheduler"]["jobs"] == 1
+            assert stats["scheduler"]["variants_raced"] >= 1
+            assert stats["server"]["admission"]["pending"] == 0
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# Bounded admission
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_stats_expose_the_admission_block(self, warm_server):
+        _, stats = get_json(warm_server, "/stats")
+        admission = stats["server"]["admission"]
+        assert admission["max_pending"] >= 1
+        assert admission["pending"] == 0
+
+    def test_full_queue_gets_429_with_retry_after(self, monkeypatch):
+        handle = serve_in_thread(workers=1, max_pending=1, grace=1.0)
+        try:
+            # Occupy the only admission slot with a job whose worker hangs
+            # long enough for the second submission to observe a full queue.
+            monkeypatch.setenv(faults.ENV_SPEC, "worker.hang=1.0:once")
+            monkeypatch.setenv(faults.ENV_SEED, "11")
+            results = []
+            blocker = threading.Thread(
+                target=lambda: results.extend(
+                    post_jobs(handle, [job_entry("admit0", timeout=2.0)])
+                )
+            )
+            blocker.start()
+            try:
+                import time as time_mod
+
+                start = time_mod.monotonic()
+                while time_mod.monotonic() - start < 5.0:
+                    _, stats = get_json(handle, "/stats")
+                    if stats["server"]["admission"]["pending"] >= 1:
+                        break
+                    time_mod.sleep(0.02)
+                status, raw = post_json(handle, "/jobs", {"jobs": [job_entry("admit1")]})
+            finally:
+                blocker.join()
+            assert status == 429, raw
+            payload = json.loads(raw)
+            assert "admission queue full" in payload["error"]
+            assert payload["retry_after"] >= 1
+            _, stats = get_json(handle, "/stats")
+            assert stats["server"]["admission"]["rejected"] == 1
+            # The slot frees once the blocker's job finishes: a resubmission
+            # (faults cleared) is admitted and runs to completion.
+            monkeypatch.delenv(faults.ENV_SPEC)
+            monkeypatch.delenv(faults.ENV_SEED)
+            (result,) = results_of(post_jobs(handle, [job_entry("admit1", timeout=30.0)]))
+            assert result["ok"]
+        finally:
+            handle.stop()
+
+    def test_rejects_nonpositive_max_pending(self):
+        with pytest.raises(ValueError):
+            SynthesisServer(workers=1, max_pending=0)
